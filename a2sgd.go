@@ -1,0 +1,194 @@
+// Package a2sgd is the public API of this repository: a from-scratch Go
+// implementation of A2SGD — two-level gradient averaging with O(1)
+// communication per worker ("O(1) Communication for Distributed SGD through
+// Two-Level Gradient Averaging", Bhattacharya, Yu & Chowdhury, CLUSTER
+// 2021) — together with the full substrate it is evaluated on: a neural
+// network framework, MPI-style collectives, the Dense/Top-K/Gaussian-K/QSGD
+// baselines, and a distributed data-parallel training runtime.
+//
+// # Quick start
+//
+//	res, err := a2sgd.Train(a2sgd.TrainConfig{
+//		Family:    "fnn3",   // fnn3 | vgg16 | resnet20 | lstm
+//		Algorithm: "a2sgd",  // a2sgd | dense | topk | gaussiank | qsgd | ...
+//		Workers:   8,
+//		Epochs:    10,
+//	})
+//
+// The returned Result carries per-epoch accuracy/perplexity, the measured
+// compression compute time, the exact per-worker traffic, and helpers that
+// price an iteration on a modelled network fabric (the paper's 100 Gbps
+// InfiniBand by default).
+package a2sgd
+
+import (
+	"fmt"
+	"sort"
+
+	"a2sgd/internal/cluster"
+	"a2sgd/internal/comm"
+	"a2sgd/internal/comm/tcpnet"
+	"a2sgd/internal/compress"
+	"a2sgd/internal/core"
+	"a2sgd/internal/models"
+	"a2sgd/internal/netsim"
+)
+
+// Algorithm is one gradient-synchronization method (see package
+// a2sgd/internal/compress for the interface contract).
+type Algorithm = compress.Algorithm
+
+// Options configures algorithm construction.
+type Options = compress.Options
+
+// Fabric is an α–β network model used to price synchronization time.
+type Fabric = netsim.Fabric
+
+// Result is a completed training run.
+type Result = cluster.Result
+
+// EpochStats is one epoch's loss and held-out metric.
+type EpochStats = cluster.EpochStats
+
+// IB100 returns the paper's 100 Gbps InfiniBand fabric model.
+func IB100() Fabric { return netsim.IB100() }
+
+// TCP10G returns a commodity 10 Gbps Ethernet fabric model.
+func TCP10G() Fabric { return netsim.TCP10G() }
+
+// builders maps algorithm names to constructors.
+var builders = map[string]func(Options) Algorithm{
+	"a2sgd": func(o Options) Algorithm { return core.NewFromOptions(o) },
+	"a2sgd-fused": func(o Options) Algorithm {
+		return core.New(o.N, core.WithMode(core.Fused), core.WithAllreduce(o.Allreduce))
+	},
+	"a2sgd-noef": func(o Options) Algorithm {
+		return core.New(o.N, core.WithoutErrorFeedback(), core.WithAllreduce(o.Allreduce))
+	},
+	"a2sgd-onemean": func(o Options) Algorithm { return core.New(o.N, core.WithOneMean(), core.WithAllreduce(o.Allreduce)) },
+	"a2sgd-allgather": func(o Options) Algorithm {
+		return core.New(o.N, core.WithAllgather())
+	},
+	"dense":      func(o Options) Algorithm { return compress.NewDense(o) },
+	"topk":       func(o Options) Algorithm { return compress.NewTopK(o) },
+	"gaussiank":  func(o Options) Algorithm { return compress.NewGaussianK(o) },
+	"qsgd":       func(o Options) Algorithm { return compress.NewQSGD(o) },
+	"qsgd-elias": func(o Options) Algorithm { return compress.NewQSGDElias(o) },
+	"randk":      func(o Options) Algorithm { return compress.NewRandK(o) },
+	"dgc":        func(o Options) Algorithm { return compress.NewDGC(o) },
+	"terngrad":   func(o Options) Algorithm { return compress.NewTernGrad(o) },
+}
+
+// Algorithms lists the registered algorithm names, sorted.
+func Algorithms() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EvaluatedAlgorithms lists the five methods of the paper's evaluation in
+// figure-legend order.
+func EvaluatedAlgorithms() []string {
+	return []string{"dense", "topk", "qsgd", "gaussiank", "a2sgd"}
+}
+
+// NewAlgorithm builds a registered algorithm. Options.N must be set.
+func NewAlgorithm(name string, o Options) (Algorithm, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("a2sgd: unknown algorithm %q (have %v)", name, Algorithms())
+	}
+	if o.N <= 0 {
+		return nil, fmt.Errorf("a2sgd: Options.N must be positive")
+	}
+	return b(o), nil
+}
+
+// DefaultOptions mirrors the paper's hyperparameters (density 0.001 for the
+// sparsifiers, QSGD level 4) for an n-parameter model.
+func DefaultOptions(n int) Options { return compress.DefaultOptions(n) }
+
+// Periodic wraps any algorithm with round reduction: workers synchronize
+// only every interval-th step (local-SGD style in between) — the
+// communication-reduction composition the paper's conclusion suggests.
+func Periodic(inner Algorithm, interval int) Algorithm {
+	return compress.NewPeriodic(inner, interval)
+}
+
+// TrainConfig configures a distributed training run through the façade.
+type TrainConfig struct {
+	// Family selects the model: "fnn3", "vgg16", "resnet20", "lstm".
+	Family string
+	// Algorithm selects gradient synchronization (see Algorithms()).
+	Algorithm string
+	// Workers is the data-parallel width (default 1).
+	Workers int
+	// Epochs, StepsPerEpoch, BatchPerWorker bound the run (defaults 1/10/16).
+	Epochs, StepsPerEpoch, BatchPerWorker int
+	// Seed fixes model init and data (default 1).
+	Seed uint64
+	// Momentum for the SGD optimizer (Table 1 runs use 0.9).
+	Momentum float32
+	// Density / QuantLevels override the paper defaults when non-zero.
+	Density     float64
+	QuantLevels int
+	// HistIters captures Figure-1 gradient histograms at these steps.
+	HistIters []int
+	// TCP runs the worker group over real loopback TCP sockets instead of
+	// the in-process channel fabric. Results are identical (the collectives
+	// are transport agnostic); this exercises the network stack end to end.
+	TCP bool
+	// LRScale multiplies the Table-1 learning-rate schedule (reduced-scale
+	// calibration; 0 = default).
+	LRScale float64
+}
+
+// Train runs data-parallel training with the named algorithm and returns
+// rank 0's view of the run.
+func Train(tc TrainConfig) (*Result, error) {
+	if tc.Seed == 0 {
+		tc.Seed = 1
+	}
+	if tc.Algorithm == "" {
+		tc.Algorithm = "a2sgd"
+	}
+	if _, ok := builders[tc.Algorithm]; !ok {
+		return nil, fmt.Errorf("a2sgd: unknown algorithm %q (have %v)", tc.Algorithm, Algorithms())
+	}
+	cfg := cluster.Config{
+		Workers:        tc.Workers,
+		Family:         tc.Family,
+		Epochs:         tc.Epochs,
+		StepsPerEpoch:  tc.StepsPerEpoch,
+		BatchPerWorker: tc.BatchPerWorker,
+		Seed:           tc.Seed,
+		Momentum:       tc.Momentum,
+		HistIters:      tc.HistIters,
+		LRScale:        tc.LRScale,
+		NewAlgorithm: func(rank, n int) compress.Algorithm {
+			o := compress.DefaultOptions(n)
+			o.Seed = tc.Seed*31 + uint64(rank) + 1
+			o.Allreduce = comm.AlgoAuto
+			if tc.Density > 0 {
+				o.Density = tc.Density
+			}
+			if tc.QuantLevels > 0 {
+				o.QuantLevels = tc.QuantLevels
+			}
+			return builders[tc.Algorithm](o)
+		},
+	}
+	if tc.TCP {
+		cfg.GroupRunner = tcpnet.RunGroup
+	}
+	return cluster.Train(cfg)
+}
+
+// Families lists the evaluation model families (Table 1).
+func Families() []string { return models.Families() }
+
+// PaperParamCount returns the Table 1 parameter count for a family.
+func PaperParamCount(family string) (int, error) { return models.PaperParamCount(family) }

@@ -1,0 +1,136 @@
+package a2sgd
+
+import (
+	"testing"
+
+	"a2sgd/internal/models"
+)
+
+func TestRegistryCompleteness(t *testing.T) {
+	names := Algorithms()
+	want := map[string]bool{
+		"a2sgd": true, "a2sgd-fused": true, "a2sgd-noef": true, "a2sgd-onemean": true,
+		"a2sgd-allgather": true,
+		"dense":           true, "topk": true, "gaussiank": true, "qsgd": true,
+		"qsgd-elias": true, "randk": true, "terngrad": true, "dgc": true,
+	}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d entries, want %d: %v", len(names), len(want), names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected algorithm %q", n)
+		}
+	}
+	// Sorted.
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("Algorithms() must be sorted")
+		}
+	}
+}
+
+func TestEvaluatedAlgorithmsAreRegistered(t *testing.T) {
+	for _, n := range EvaluatedAlgorithms() {
+		a, err := NewAlgorithm(n, DefaultOptions(100))
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		if a.Name() == "" {
+			t.Errorf("%s: empty name", n)
+		}
+	}
+}
+
+func TestNewAlgorithmValidation(t *testing.T) {
+	if _, err := NewAlgorithm("nope", DefaultOptions(10)); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+	if _, err := NewAlgorithm("a2sgd", Options{}); err == nil {
+		t.Error("missing N must error")
+	}
+}
+
+func TestEveryRegisteredAlgorithmEncodes(t *testing.T) {
+	g := make([]float32, 512)
+	for i := range g {
+		g[i] = float32(i%11) - 5
+	}
+	for _, name := range Algorithms() {
+		a, err := NewAlgorithm(name, DefaultOptions(len(g)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p := a.Encode(g)
+		if p.Bits <= 0 {
+			t.Errorf("%s: payload bits %d", name, p.Bits)
+		}
+		if a.PayloadBytes(len(g)) <= 0 {
+			t.Errorf("%s: payload bytes", name)
+		}
+		a.Reset()
+	}
+}
+
+func TestTrainFacadeSmoke(t *testing.T) {
+	res, err := Train(TrainConfig{
+		Family: "fnn3", Algorithm: "a2sgd", Workers: 2,
+		Epochs: 2, StepsPerEpoch: 4, BatchPerWorker: 4, Momentum: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "a2sgd" || len(res.Epochs) != 2 {
+		t.Errorf("result: %+v", res)
+	}
+	if res.PayloadBytes != 8 {
+		t.Errorf("A2SGD payload %d bytes, want 8", res.PayloadBytes)
+	}
+	// The fabric helpers price iterations.
+	if res.ModeledIterSec(IB100()) <= 0 {
+		t.Error("modelled iteration time")
+	}
+	if IB100().Beta >= TCP10G().Beta {
+		t.Error("fabric profiles")
+	}
+}
+
+func TestTrainFacadeDefaultsAndErrors(t *testing.T) {
+	if _, err := Train(TrainConfig{Family: "fnn3", Algorithm: "nope"}); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+	// Defaults: algorithm a2sgd, 1 worker.
+	res, err := Train(TrainConfig{Family: "fnn3", Epochs: 1, StepsPerEpoch: 2, BatchPerWorker: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "a2sgd" || res.Workers != 1 {
+		t.Errorf("defaults: %+v", res)
+	}
+}
+
+func TestTrainDensityOverride(t *testing.T) {
+	res, err := Train(TrainConfig{
+		Family: "fnn3", Algorithm: "topk", Workers: 2,
+		Epochs: 1, StepsPerEpoch: 2, BatchPerWorker: 2,
+		Density: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK := int(0.01 * float64(res.NumParams))
+	if res.PayloadBytes != int64(4*wantK) {
+		t.Errorf("topk payload %d, want %d", res.PayloadBytes, 4*wantK)
+	}
+}
+
+func TestFamiliesAndParamCounts(t *testing.T) {
+	if len(Families()) != len(models.Families()) {
+		t.Error("families mismatch")
+	}
+	n, err := PaperParamCount("lstm")
+	if err != nil || n != 66_034_000 {
+		t.Errorf("lstm params %d %v", n, err)
+	}
+}

@@ -1,0 +1,134 @@
+// Command a2sgdbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	a2sgdbench -experiment all                 # everything (slow)
+//	a2sgdbench -experiment fig2 -maxn 100000000
+//	a2sgdbench -experiment fig3 -workers 2,4,8,16 -epochs 10
+//	a2sgdbench -experiment fig4 -scale 1       # paper-scale gradients
+//	a2sgdbench -experiment table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"a2sgd/internal/bench"
+	"a2sgd/internal/netsim"
+)
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|all")
+	maxN := flag.Int("maxn", 25_000_000, "largest parameter count for fig2")
+	scale := flag.Int("scale", 10, "divide paper parameter counts by this for fig4/fig5/table2 (1 = full)")
+	workersFlag := flag.String("workers", "2,4,8,16", "worker counts for fig3/fig4/fig5")
+	epochs := flag.Int("epochs", 8, "epochs for fig1/fig3")
+	steps := flag.Int("steps", 12, "steps per epoch for fig3")
+	fabricName := flag.String("fabric", "ib100", "network model: ib100|tcp10g")
+	flag.Parse()
+
+	workers, err := parseInts(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -workers:", err)
+		os.Exit(2)
+	}
+	fabric := netsim.IB100()
+	if *fabricName == "tcp10g" {
+		fabric = netsim.TCP10G()
+	}
+
+	w := os.Stdout
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Fprintf(w, "\n================ %s ================\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error { return bench.Table1(w) })
+	run("fig1", func() error {
+		_, err := bench.Figure1(w, *epochs, 20, true)
+		return err
+	})
+	run("fig2", func() error {
+		sizes := []int{1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000, 100_000_000}
+		var trimmed []int
+		for _, s := range sizes {
+			if s <= *maxN {
+				trimmed = append(trimmed, s)
+			}
+		}
+		_, err := bench.Figure2(w, trimmed, 2)
+		return err
+	})
+	run("fig3", func() error {
+		_, err := bench.Figure3(w, bench.Figure3Config{
+			Workers: workers, Epochs: *epochs, Steps: *steps,
+		})
+		return err
+	})
+
+	var iterModel *bench.IterModel
+	needIter := func() error {
+		if iterModel == nil {
+			m, err := bench.NewIterModel(fabric, *scale, nil)
+			if err != nil {
+				return err
+			}
+			iterModel = m
+		}
+		return nil
+	}
+	run("fig4", func() error {
+		if err := needIter(); err != nil {
+			return err
+		}
+		bench.Figure4(w, iterModel, workers)
+		return nil
+	})
+	run("fig5", func() error {
+		if err := needIter(); err != nil {
+			return err
+		}
+		bench.Figure5(w, iterModel, workers)
+		return nil
+	})
+	run("table2", func() error {
+		if err := needIter(); err != nil {
+			return err
+		}
+		bench.Table2(w, iterModel)
+		return nil
+	})
+	run("ablation", func() error {
+		wk := 4
+		if len(workers) > 0 {
+			wk = workers[0]
+		}
+		_, err := bench.Ablation(w, wk, *epochs)
+		return err
+	})
+}

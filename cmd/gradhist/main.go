@@ -1,0 +1,24 @@
+// Command gradhist reproduces Figure 1: it trains FNN-3 and ResNet-20 on a
+// single worker, captures the gradient-value distribution at increasing
+// iteration counts, and renders ASCII histograms showing the concentration
+// around zero that motivates two-level averaging.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"a2sgd/internal/bench"
+)
+
+func main() {
+	epochs := flag.Int("epochs", 8, "training epochs")
+	steps := flag.Int("steps", 20, "steps per epoch")
+	flag.Parse()
+
+	if _, err := bench.Figure1(os.Stdout, *epochs, *steps, true); err != nil {
+		fmt.Fprintln(os.Stderr, "gradhist:", err)
+		os.Exit(1)
+	}
+}

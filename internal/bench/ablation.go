@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"a2sgd/internal/cluster"
+	"a2sgd/internal/compress"
+	"a2sgd/internal/core"
+)
+
+// AblationResult is one variant's convergence and traffic outcome.
+type AblationResult struct {
+	Variant      string
+	FinalMetric  float64
+	PayloadB     int64
+	BytesPerStep float64
+}
+
+// Ablation runs the design-choice comparisons DESIGN.md §6 calls out as a
+// single convergence experiment on FNN-3: full A2SGD against its
+// error-feedback-off, one-mean and allgather-exchange variants, the
+// Periodic round-reduction composition, dense SGD as the reference, and the
+// related-work extensions (Rand-K, TernGrad, DGC, Elias-coded QSGD).
+func Ablation(w io.Writer, workers, epochs int) ([]AblationResult, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	if epochs <= 0 {
+		epochs = 8
+	}
+	variants := []struct {
+		name  string
+		build func(rank, n int) compress.Algorithm
+	}{
+		{"dense", func(rank, n int) compress.Algorithm {
+			return compress.NewDense(compress.DefaultOptions(n))
+		}},
+		{"a2sgd", func(rank, n int) compress.Algorithm {
+			return core.New(n)
+		}},
+		{"a2sgd-noef", func(rank, n int) compress.Algorithm {
+			return core.New(n, core.WithoutErrorFeedback())
+		}},
+		{"a2sgd-onemean", func(rank, n int) compress.Algorithm {
+			return core.New(n, core.WithOneMean())
+		}},
+		{"a2sgd-allgather", func(rank, n int) compress.Algorithm {
+			return core.New(n, core.WithAllgather())
+		}},
+		{"a2sgd-every4", func(rank, n int) compress.Algorithm {
+			return compress.NewPeriodic(core.New(n), 4)
+		}},
+		{"dgc", func(rank, n int) compress.Algorithm {
+			o := compress.DefaultOptions(n)
+			o.Density = 0.05
+			o.Seed = uint64(rank + 1)
+			return compress.NewDGC(o)
+		}},
+		{"randk", func(rank, n int) compress.Algorithm {
+			o := compress.DefaultOptions(n)
+			o.Density = 0.05
+			o.Seed = uint64(rank + 1)
+			return compress.NewRandK(o)
+		}},
+		{"terngrad", func(rank, n int) compress.Algorithm {
+			o := compress.DefaultOptions(n)
+			o.Seed = uint64(rank + 1)
+			return compress.NewTernGrad(o)
+		}},
+		{"qsgd-elias", func(rank, n int) compress.Algorithm {
+			o := compress.DefaultOptions(n)
+			o.Seed = uint64(rank + 1)
+			return compress.NewQSGDElias(o)
+		}},
+	}
+	var out []AblationResult
+	var rows [][]string
+	for _, v := range variants {
+		res, err := cluster.Train(cluster.Config{
+			Workers: workers, Family: "fnn3",
+			NewAlgorithm:   v.build,
+			Epochs:         epochs,
+			StepsPerEpoch:  12,
+			BatchPerWorker: 8,
+			Seed:           7,
+			Momentum:       0.9,
+			LRScale:        0.5,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		r := AblationResult{
+			Variant:      v.name,
+			FinalMetric:  res.FinalMetric(),
+			PayloadB:     res.PayloadBytes,
+			BytesPerStep: res.BytesPerWorkerPerStep,
+		}
+		out = append(out, r)
+		rows = append(rows, []string{
+			v.name,
+			fmt.Sprintf("%.4f", r.FinalMetric),
+			fmt.Sprintf("%d", r.PayloadB),
+			fmt.Sprintf("%.0f", r.BytesPerStep),
+		})
+	}
+	fmt.Fprintf(w, "\nAblations (FNN-3, %d workers, %d epochs): design choices of DESIGN.md §6\n", workers, epochs)
+	table(w, []string{"variant", "final top-1 acc", "payload B/worker", "measured B/step"}, rows)
+	return out, nil
+}

@@ -1,0 +1,143 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	Figure 1  — gradient-distribution progression (FNN-3, ResNet-20)
+//	Figure 2  — compression compute time vs parameter count
+//	Figure 3  — convergence accuracy/perplexity per algorithm (+ Figs 6–8,
+//	            which are the same experiment at 2/4/16 workers)
+//	Figure 4  — average iteration time vs worker count
+//	Figure 5  — total training time vs worker count
+//	Table 1   — experimental setup
+//	Table 2   — synchronization complexities and scaling efficiency
+//
+// Runners return structured results for tests and render aligned-text
+// tables (plus CSV) for humans. EXPERIMENTS.md records paper-vs-measured.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"a2sgd/internal/compress"
+	"a2sgd/internal/core"
+	"a2sgd/internal/models"
+	"a2sgd/internal/netsim"
+)
+
+// EvalAlgos is the paper's five-method evaluation set, legend order.
+var EvalAlgos = []string{"dense", "topk", "qsgd", "gaussiank", "a2sgd"}
+
+// newAlgo builds one of the evaluated algorithms for an n-parameter model
+// with the paper's default hyperparameters.
+func newAlgo(name string, n int, seed uint64) compress.Algorithm {
+	return newAlgoDensity(name, n, seed, 0)
+}
+
+// newAlgoDensity is newAlgo with a sparsifier-density override (0 keeps the
+// paper default of 0.001).
+func newAlgoDensity(name string, n int, seed uint64, density float64) compress.Algorithm {
+	o := compress.DefaultOptions(n)
+	o.Seed = seed
+	if density > 0 {
+		o.Density = density
+	}
+	switch name {
+	case "dense":
+		return compress.NewDense(o)
+	case "topk":
+		return compress.NewTopK(o)
+	case "gaussiank":
+		return compress.NewGaussianK(o)
+	case "qsgd":
+		return compress.NewQSGD(o)
+	case "a2sgd":
+		return core.NewFromOptions(o)
+	case "randk":
+		return compress.NewRandK(o)
+	case "terngrad":
+		return compress.NewTernGrad(o)
+	default:
+		panic("bench: unknown algorithm " + name)
+	}
+}
+
+// table renders rows as an aligned text table.
+func table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// csvOut renders rows as CSV (for plotting).
+func csvOut(w io.Writer, header []string, rows [][]string) {
+	fmt.Fprintln(w, strings.Join(header, ","))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+// Table1 prints the experimental-setup table (paper Table 1) with this
+// repository's reduced-scale counterparts alongside.
+func Table1(w io.Writer) error {
+	type row struct {
+		model, dataset, batch, lr, policy string
+	}
+	meta := map[string]row{
+		"fnn3":     {"FNN-3", "MNIST → synthetic Gaussian clusters", "128", "0.01", "LS(1x)+GW+PD"},
+		"vgg16":    {"VGG-16", "CIFAR10 → synthetic textures", "128", "0.1", "LS(1.5x)+GW+PD+LARS"},
+		"resnet20": {"ResNet-20", "CIFAR10 → synthetic textures", "128", "0.1", "LS(1x)+GW+PD"},
+		"lstm":     {"LSTM-PTB", "PTB → synthetic Zipf-Markov stream", "128", "22", "PD"},
+	}
+	var rows [][]string
+	for _, fam := range models.Families() {
+		m := meta[fam]
+		paperN, err := models.PaperParamCount(fam)
+		if err != nil {
+			return err
+		}
+		reduced, err := models.New(models.Config{Family: fam, Seed: 1, Reduced: true})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			m.model, m.dataset, fmt.Sprintf("%d", paperN),
+			fmt.Sprintf("%d", reduced.NumParams()), m.batch, m.lr, m.policy,
+		})
+	}
+	fmt.Fprintln(w, "Table 1: Experimental Setup (paper #Parameters vs this repo's reduced trainable scale)")
+	table(w, []string{"Model", "Dataset", "#Params(paper)", "#Params(reduced)", "Batch", "LR", "Policy"}, rows)
+	return nil
+}
+
+// fabricOrDefault returns IB100 when f is zero-valued.
+func fabricOrDefault(f netsim.Fabric) netsim.Fabric {
+	if f.Alpha == 0 && f.Beta == 0 {
+		return netsim.IB100()
+	}
+	return f
+}

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"a2sgd/internal/models"
+	"a2sgd/internal/netsim"
+)
+
+func TestTable1ListsAllFamilies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, s := range []string{"FNN-3", "VGG-16", "ResNet-20", "LSTM-PTB", "199210", "66034000"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("Table 1 missing %q:\n%s", s, out)
+		}
+	}
+}
+
+func TestFigure1GradientConcentration(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Figure1(&buf, 4, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("expected 2 models, got %d", len(res))
+	}
+	for _, r := range res {
+		if len(r.Histograms) != 4 {
+			t.Fatalf("%s: %d captures", r.Family, len(r.Histograms))
+		}
+		// The paper's qualitative claim: the distribution is centered near
+		// zero and concentrates as training progresses. Check that the
+		// final capture's peak mass is at least the first's (weak
+		// monotonicity to keep the test robust to short runs).
+		first, last := r.PeakFracs[0], r.PeakFracs[len(r.PeakFracs)-1]
+		if last < first*0.8 {
+			t.Errorf("%s: peak fraction fell %v -> %v", r.Family, first, last)
+		}
+	}
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Error("missing output header")
+	}
+}
+
+func TestFigure2OrderingAtScale(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := Figure2(&buf, []int{2_000_000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := map[string]float64{}
+	for _, p := range pts {
+		sec[p.Algo] = p.Seconds
+	}
+	// The paper's Figure 2 ordering: A2SGD cheapest (single pass, no
+	// selection), Top-K and QSGD the most expensive.
+	if !(sec["a2sgd"] < sec["topk"]) {
+		t.Errorf("a2sgd (%v) should beat topk (%v)", sec["a2sgd"], sec["topk"])
+	}
+	if !(sec["a2sgd"] < sec["qsgd"]) {
+		t.Errorf("a2sgd (%v) should beat qsgd (%v)", sec["a2sgd"], sec["qsgd"])
+	}
+	if !(sec["gaussiank"] < sec["topk"]) {
+		t.Errorf("gaussiank (%v) should beat topk (%v)", sec["gaussiank"], sec["topk"])
+	}
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Error("missing output header")
+	}
+}
+
+func TestFigure3ConvergenceOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	series, err := Figure3(&buf, Figure3Config{
+		Families: []string{"fnn3"},
+		Algos:    []string{"dense", "a2sgd", "topk"},
+		Workers:  []int{4},
+		Epochs:   6, Steps: 10, Batch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := map[string]float64{}
+	for _, s := range series {
+		final[s.Algo] = s.PerEpoch[len(s.PerEpoch)-1]
+	}
+	// A2SGD must land close to dense (the paper's convergence claim).
+	if final["a2sgd"] < final["dense"]-0.15 {
+		t.Errorf("a2sgd %.3f far below dense %.3f", final["a2sgd"], final["dense"])
+	}
+	// All methods must clear chance (0.1 for 10 classes).
+	for a, v := range final {
+		if v < 0.2 {
+			t.Errorf("%s final accuracy %.3f barely above chance", a, v)
+		}
+	}
+}
+
+func TestIterModelAndFigure45(t *testing.T) {
+	// paramScale 100 keeps the measurement fast while preserving ordering.
+	m, err := NewIterModel(netsim.IB100(), 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range models.Families() {
+		if m.N[fam] < 1000 {
+			t.Errorf("%s: n=%d", fam, m.N[fam])
+		}
+		// A2SGD's iteration must beat dense for every family at 16 workers
+		// (communication dominates at paper scale).
+		if !(m.IterSec(fam, "a2sgd", 16) <= m.IterSec(fam, "dense", 16)) {
+			t.Errorf("%s: a2sgd iter %.5f > dense %.5f", fam,
+				m.IterSec(fam, "a2sgd", 16), m.IterSec(fam, "dense", 16))
+		}
+	}
+	var buf bytes.Buffer
+	cells4 := Figure4(&buf, m, nil)
+	if len(cells4) != 4*5*4 {
+		t.Errorf("figure4 cells: %d", len(cells4))
+	}
+	cells5 := Figure5(&buf, m, nil)
+	if len(cells5) != 4*5*4 {
+		t.Errorf("figure5 cells: %d", len(cells5))
+	}
+	// Figure 5's data-parallel speedup: total time falls with more workers
+	// for A2SGD on every family.
+	tot := map[string]map[int]float64{}
+	for _, c := range cells5 {
+		if c.Algo == "a2sgd" {
+			if tot[c.Family] == nil {
+				tot[c.Family] = map[int]float64{}
+			}
+			tot[c.Family][c.Workers] = c.TotalSec
+		}
+	}
+	for fam, byP := range tot {
+		if !(byP[16] < byP[2]) {
+			t.Errorf("%s: total time did not fall with workers: %v", fam, byP)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "Figure 5") {
+		t.Error("missing headers")
+	}
+}
+
+func TestTable2ScalingEfficiency(t *testing.T) {
+	m, err := NewIterModel(netsim.IB100(), 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	eff := Table2(&buf, m)
+	// Dense at 8 workers vs itself at 2 workers must show speedup > 1.
+	for fam, e := range eff["dense"] {
+		if e <= 1 {
+			t.Errorf("dense scaling eff for %s = %v, want > 1", fam, e)
+		}
+	}
+	// A2SGD must scale at least as well as dense on the big models — the
+	// Table 2 shape (6.37× vs 2.34× for LSTM).
+	if eff["a2sgd"]["lstm"] < eff["dense"]["lstm"] {
+		t.Errorf("a2sgd lstm eff %v < dense %v", eff["a2sgd"]["lstm"], eff["dense"]["lstm"])
+	}
+	out := buf.String()
+	for _, s := range []string{"O(n + k log n)", "64", "32n"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("Table 2 missing %q", s)
+		}
+	}
+}
+
+func TestNewAlgoUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newAlgo("nope", 10, 1)
+}
+
+func TestTableRendering(t *testing.T) {
+	var buf bytes.Buffer
+	table(&buf, []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	out := buf.String()
+	if !strings.Contains(out, "---") || !strings.Contains(out, "333") {
+		t.Errorf("table output:\n%s", out)
+	}
+	buf.Reset()
+	csvOut(&buf, []string{"x", "y"}, [][]string{{"1", "2"}})
+	if buf.String() != "x,y\n1,2\n" {
+		t.Errorf("csv output: %q", buf.String())
+	}
+}
+
+func TestAblationRunner(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Ablation(&buf, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationResult{}
+	for _, r := range res {
+		byName[r.Variant] = r
+	}
+	// The paper's design rationale, quantitatively:
+	// full A2SGD must beat the no-error-feedback and one-mean ablations.
+	if byName["a2sgd"].FinalMetric < byName["a2sgd-noef"].FinalMetric-0.05 {
+		t.Errorf("a2sgd %.3f should not trail noef %.3f",
+			byName["a2sgd"].FinalMetric, byName["a2sgd-noef"].FinalMetric)
+	}
+	// Allgather variant must match the allreduce variant's convergence.
+	if d := byName["a2sgd"].FinalMetric - byName["a2sgd-allgather"].FinalMetric; d > 0.1 || d < -0.1 {
+		t.Errorf("allgather variant diverged: %.3f vs %.3f",
+			byName["a2sgd-allgather"].FinalMetric, byName["a2sgd"].FinalMetric)
+	}
+	// Periodic must cut measured traffic ~4x below plain a2sgd.
+	if byName["a2sgd-every4"].BytesPerStep > byName["a2sgd"].BytesPerStep/2 {
+		t.Errorf("periodic traffic %.0f not reduced vs %.0f",
+			byName["a2sgd-every4"].BytesPerStep, byName["a2sgd"].BytesPerStep)
+	}
+	if !strings.Contains(buf.String(), "Ablations") {
+		t.Error("missing header")
+	}
+}

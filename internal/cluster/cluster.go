@@ -1,0 +1,314 @@
+// Package cluster is the data-parallel distributed training runtime: it
+// plays the role Horovod plays in the paper. P workers (goroutines with
+// MPI-style communicators) hold model replicas, compute local gradients on
+// their shard of each mini-batch, synchronize through a pluggable
+// gradient-synchronization algorithm (A2SGD or any baseline), and apply the
+// update with the Table 1 learning-rate policy.
+//
+// The runtime separates the three cost components the paper's evaluation
+// analyses: forward/backward compute (measured), compression compute
+// (measured — Figure 2's quantity), and synchronization traffic (counted
+// exactly, then priced by the α–β network model for Figures 4–5).
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"a2sgd/internal/comm"
+	"a2sgd/internal/compress"
+	"a2sgd/internal/data"
+	"a2sgd/internal/models"
+	"a2sgd/internal/netsim"
+	"a2sgd/internal/nn"
+	"a2sgd/internal/optim"
+	"a2sgd/internal/stats"
+	"a2sgd/internal/tensor"
+)
+
+// Config describes one distributed training run.
+type Config struct {
+	// Workers is the data-parallel width P.
+	Workers int
+	// Family selects the model family ("fnn3", "vgg16", "resnet20", "lstm").
+	Family string
+	// NewAlgorithm builds the per-worker synchronization algorithm. The
+	// parameter count is the model's NumParams.
+	NewAlgorithm func(rank, numParams int) compress.Algorithm
+	// Epochs and StepsPerEpoch bound the run.
+	Epochs, StepsPerEpoch int
+	// BatchPerWorker is each worker's shard of the global mini-batch.
+	BatchPerWorker int
+	// SeqLen is the LSTM sequence length (ignored otherwise; default 12).
+	SeqLen int
+	// Seed controls model init, data generation and per-worker sampling.
+	Seed uint64
+	// Momentum and WeightDecay configure the optimizer.
+	Momentum, WeightDecay float32
+	// HistIters lists global step indices at which rank 0 captures the
+	// local-gradient histogram (Figure 1). Nil disables capture.
+	HistIters []int
+	// EvalBatch is the held-out evaluation size (default 256).
+	EvalBatch int
+	// LRScale multiplies the Table-1 schedule (default 1). Reduced-scale
+	// calibration knob; the paper-scale schedules stay in optim.PolicyFor.
+	LRScale float64
+	// GroupRunner launches the worker group. Nil uses the in-process
+	// channel fabric (comm.RunGroup); tests substitute a TCP-backed runner
+	// to exercise training over a real network stack.
+	GroupRunner func(size int, body func(*comm.Communicator) error) error
+	// Checkpoint, when non-nil, receives the final synchronized model
+	// weights (rank 0, nn checkpoint format) after training completes.
+	Checkpoint io.Writer
+}
+
+// EpochStats reports one epoch's training loss and held-out metric.
+type EpochStats struct {
+	Epoch    int
+	Loss     float64 // mean training loss across steps (rank 0)
+	EvalLoss float64
+	Metric   float64 // accuracy (higher better) or perplexity (lower better)
+	LR       float64
+}
+
+// Result aggregates a training run.
+type Result struct {
+	Family    string
+	Algorithm string
+	Workers   int
+	NumParams int
+	Metric    models.Metric
+	Epochs    []EpochStats
+
+	// Cost components, averaged per training step (rank 0).
+	AvgComputeSec float64 // forward + backward
+	AvgEncodeSec  float64 // compression compute (Figure 2's quantity)
+	AvgSyncSec    float64 // wall time actually spent in the collective
+
+	// BytesPerWorkerPerStep is the measured payload each worker sent per
+	// step (from the traffic counters).
+	BytesPerWorkerPerStep float64
+	// PayloadBytes is the analytic per-worker payload (Table 2 column 3).
+	PayloadBytes int64
+	// ExchangeKind feeds the α–β model.
+	ExchangeKind netsim.ExchangeKind
+
+	// Histograms holds the Figure 1 captures (rank 0), parallel to
+	// HistIters.
+	Histograms []*stats.Histogram
+	HistIters  []int
+}
+
+// FinalMetric returns the last epoch's held-out metric.
+func (r *Result) FinalMetric() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	return r.Epochs[len(r.Epochs)-1].Metric
+}
+
+// ModeledIterSec prices one training iteration on the given fabric:
+// measured compute + measured compression + modelled synchronization.
+func (r *Result) ModeledIterSec(f netsim.Fabric) float64 {
+	return r.AvgComputeSec + r.AvgEncodeSec + f.SyncTime(r.ExchangeKind, r.PayloadBytes, r.Workers)
+}
+
+// Throughput returns modelled samples/second at the run's worker count.
+func (r *Result) Throughput(f netsim.Fabric, batchPerWorker int) float64 {
+	it := r.ModeledIterSec(f)
+	if it <= 0 {
+		return 0
+	}
+	return float64(batchPerWorker*r.Workers) / it
+}
+
+func (c *Config) defaults() Config {
+	cfg := *c
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.StepsPerEpoch <= 0 {
+		cfg.StepsPerEpoch = 10
+	}
+	if cfg.BatchPerWorker <= 0 {
+		cfg.BatchPerWorker = 16
+	}
+	if cfg.SeqLen <= 0 {
+		cfg.SeqLen = 12
+	}
+	if cfg.EvalBatch <= 0 {
+		cfg.EvalBatch = 256
+	}
+	return cfg
+}
+
+// Train runs the distributed training loop and returns rank 0's view.
+func Train(c Config) (*Result, error) {
+	cfg := c.defaults()
+	if cfg.NewAlgorithm == nil {
+		return nil, fmt.Errorf("cluster: NewAlgorithm is required")
+	}
+
+	img, txt, err := data.ForFamily(cfg.Family, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Family: cfg.Family, Workers: cfg.Workers, HistIters: cfg.HistIters}
+	var resMu sync.Mutex
+
+	runGroup := cfg.GroupRunner
+	if runGroup == nil {
+		runGroup = comm.RunGroup
+	}
+	groupErr := runGroup(cfg.Workers, func(cm *comm.Communicator) error {
+		rank := cm.Rank()
+		model, err := models.New(models.Config{Family: cfg.Family, Seed: cfg.Seed, Reduced: true})
+		if err != nil {
+			return err
+		}
+		n := model.NumParams()
+		alg := cfg.NewAlgorithm(rank, n)
+
+		// Broadcast rank 0's weights so replicas start identical even if a
+		// model family ever gains non-deterministic init.
+		w := make([]float32, n)
+		model.GatherParams(w)
+		if err := cm.Broadcast(w, 0); err != nil {
+			return err
+		}
+		model.ScatterParams(w)
+		// The setup broadcast is not part of the per-step algorithm cost.
+		cm.ResetTraffic()
+
+		sched, useLARS := optim.PolicyFor(cfg.Family, cfg.Workers)
+		momentum := cfg.Momentum
+		lrScale := 1.0
+		if cfg.LRScale > 0 {
+			lrScale = cfg.LRScale
+		}
+		if cfg.Family == "lstm" {
+			// Reduced-scale calibration: the paper's LR 22 is tuned for the
+			// 66 M-parameter PTB model; the reduced LM needs a smaller rate
+			// and, like the paper's LSTM runs, plain SGD without momentum.
+			momentum = 0
+			lrScale *= 0.25
+		}
+		opt := optim.NewSGD(momentum, cfg.WeightDecay)
+		opt.LARS = useLARS
+
+		sampleRNG := tensor.NewRNG(cfg.Seed*1000 + uint64(rank) + 1)
+		grad := make([]float32, n)
+
+		var evalSet models.Batch
+		if rank == 0 {
+			if img != nil {
+				evalSet = img.EvalSet(cfg.EvalBatch, cfg.Seed)
+			} else {
+				evalSet = txt.EvalSet(cfg.EvalBatch/4+1, cfg.SeqLen, cfg.Seed)
+			}
+		}
+
+		var computeSec, encodeSec, syncSec float64
+		var epochs []EpochStats
+		var hists []*stats.Histogram
+		histAt := map[int]bool{}
+		for _, it := range cfg.HistIters {
+			histAt[it] = true
+		}
+		globalStep := 0
+		steps := 0
+
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			lr := sched.LR(epoch, cfg.Epochs) * lrScale
+			var lossSum float64
+			for s := 0; s < cfg.StepsPerEpoch; s++ {
+				var batch models.Batch
+				if img != nil {
+					batch = img.Sample(sampleRNG, cfg.BatchPerWorker)
+				} else {
+					batch = txt.Sample(sampleRNG, cfg.BatchPerWorker, cfg.SeqLen)
+				}
+				model.ZeroGrads()
+				t0 := time.Now()
+				loss := model.Step(batch)
+				computeSec += time.Since(t0).Seconds()
+				lossSum += loss
+
+				model.GatherGrads(grad)
+				if tensor.HasNaNOrInf(grad) {
+					return fmt.Errorf("cluster: worker %d produced a non-finite gradient at step %d (diverged — lower the learning rate)", rank, globalStep)
+				}
+				if rank == 0 && histAt[globalStep] {
+					h := stats.NewHistogram(-0.25, 0.25, 101)
+					h.AddSlice(grad)
+					hists = append(hists, h)
+				}
+
+				t1 := time.Now()
+				payload := alg.Encode(grad)
+				encodeSec += time.Since(t1).Seconds()
+				t2 := time.Now()
+				if err := alg.Exchange(payload, grad, cm); err != nil {
+					return err
+				}
+				syncSec += time.Since(t2).Seconds()
+				model.ScatterGrads(grad)
+				opt.Step(model.Params(), lr)
+				globalStep++
+				steps++
+			}
+			if rank == 0 {
+				evalLoss, metric := model.Eval(evalSet)
+				epochs = append(epochs, EpochStats{
+					Epoch: epoch, Loss: lossSum / float64(cfg.StepsPerEpoch),
+					EvalLoss: evalLoss, Metric: metric, LR: lr,
+				})
+			}
+		}
+
+		// Snapshot traffic before the final dense synchronization so the
+		// per-step accounting reflects the algorithm, not the epilogue.
+		tr := cm.Traffic()
+
+		// Algorithm 1, lines 9–10: one final dense synchronization so all
+		// replicas end identical (A2SGD replicas drift by design).
+		model.GatherParams(grad) // reuse the gradient buffer as scratch
+		if err := cm.AllreduceMean(grad, comm.AlgoAuto); err != nil {
+			return err
+		}
+		model.ScatterParams(grad)
+
+		if rank == 0 && cfg.Checkpoint != nil {
+			if err := nn.SaveParams(cfg.Checkpoint, model.Params()); err != nil {
+				return fmt.Errorf("cluster: checkpoint: %w", err)
+			}
+		}
+
+		if rank == 0 {
+			resMu.Lock()
+			res.Algorithm = alg.Name()
+			res.NumParams = n
+			res.Metric = model.Metric()
+			res.Epochs = epochs
+			res.AvgComputeSec = computeSec / float64(steps)
+			res.AvgEncodeSec = encodeSec / float64(steps)
+			res.AvgSyncSec = syncSec / float64(steps)
+			res.BytesPerWorkerPerStep = float64(tr.BytesSent) / float64(steps)
+			res.PayloadBytes = alg.PayloadBytes(n)
+			res.ExchangeKind = alg.ExchangeKind()
+			res.Histograms = hists
+			resMu.Unlock()
+		}
+		return nil
+	})
+	if groupErr != nil {
+		return nil, groupErr
+	}
+	return res, nil
+}

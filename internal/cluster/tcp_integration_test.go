@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"a2sgd/internal/comm"
+	"a2sgd/internal/comm/tcpnet"
+)
+
+// tcpRunner launches the worker group over real TCP loopback sockets.
+func tcpRunner(size int, body func(*comm.Communicator) error) error {
+	cs, shutdown, err := tcpnet.NewLocalGroup(size)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	errs := make(chan error, size)
+	var wg sync.WaitGroup
+	for _, c := range cs {
+		wg.Add(1)
+		go func(c *comm.Communicator) {
+			defer wg.Done()
+			if err := body(c); err != nil {
+				errs <- err
+				shutdown()
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Training over TCP must produce exactly the same losses as training over
+// the in-process fabric: the collectives are deterministic and transport
+// agnostic.
+func TestTrainingOverTCPMatchesInproc(t *testing.T) {
+	base := quickCfg("fnn3", "a2sgd", 3)
+	base.Epochs = 2
+	base.StepsPerEpoch = 4
+	base.BatchPerWorker = 4
+	inproc, err := Train(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := base
+	tcp.GroupRunner = tcpRunner
+	overTCP, err := Train(tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inproc.Epochs) != len(overTCP.Epochs) {
+		t.Fatalf("epoch counts differ")
+	}
+	for i := range inproc.Epochs {
+		if inproc.Epochs[i].Loss != overTCP.Epochs[i].Loss {
+			t.Errorf("epoch %d loss differs: inproc %v vs tcp %v",
+				i, inproc.Epochs[i].Loss, overTCP.Epochs[i].Loss)
+		}
+		if inproc.Epochs[i].Metric != overTCP.Epochs[i].Metric {
+			t.Errorf("epoch %d metric differs: inproc %v vs tcp %v",
+				i, inproc.Epochs[i].Metric, overTCP.Epochs[i].Metric)
+		}
+	}
+}
+
+func TestTrainingOverTCPDense(t *testing.T) {
+	cfg := quickCfg("fnn3", "dense", 2)
+	cfg.Epochs = 2
+	cfg.StepsPerEpoch = 3
+	cfg.BatchPerWorker = 4
+	cfg.GroupRunner = tcpRunner
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 2 {
+		t.Fatalf("epochs %d", len(res.Epochs))
+	}
+}

@@ -1,0 +1,165 @@
+package comm
+
+// Additional MPI-style collectives beyond the core allreduce/allgather set:
+// ReduceScatter (the first phase of ring allreduce, exposed directly),
+// Gather and Scatter (rooted data movement), and AlltoAll (full personalized
+// exchange). Horovod-style runtimes use these for tensor fusion and sharded
+// optimizers; they round out the substrate and are exercised by the
+// bucketed-fusion path in this package.
+
+const (
+	tagRedScat = 9 << 16
+	tagScatter = 10 << 16
+	tagGatherR = 11 << 16
+	tagA2A     = 12 << 16
+)
+
+// ReduceScatter sums v across all ranks and leaves each rank holding only
+// its segment of the result: rank r receives sum(v)[segBounds(r)] in
+// out (which must have the length of segment r). Implemented as the
+// reduce-scatter phase of the ring algorithm: P−1 steps of n/P elements.
+func (c *Communicator) ReduceScatter(v []float32, out []float32) error {
+	p, r := c.Size(), c.Rank()
+	n := len(v)
+	lo, hi := segBounds(n, p, r)
+	if len(out) != hi-lo {
+		return ErrLengthMismatch
+	}
+	if p == 1 {
+		copy(out, v)
+		return nil
+	}
+	// Work on a copy so the caller's v is not clobbered.
+	work := make([]float32, n)
+	copy(work, v)
+	next := (r + 1) % p
+	prev := (r - 1 + p) % p
+	buf := make([]float32, (n+p-1)/p+1)
+	for s := 0; s < p-1; s++ {
+		sendSeg := (r - s + p) % p
+		recvSeg := (r - s - 1 + p) % p
+		slo, shi := segBounds(n, p, sendSeg)
+		rlo, rhi := segBounds(n, p, recvSeg)
+		rb := buf[:rhi-rlo]
+		if err := c.sendRecv(next, tagRedScat+s, work[slo:shi], prev, tagRedScat+s, rb); err != nil {
+			return err
+		}
+		for i := range rb {
+			work[rlo+i] += rb[i]
+		}
+	}
+	// After P−1 steps rank r holds the full sum of segment (r+1) mod p; we
+	// want rank r to own segment r, so rotate once more.
+	ownSeg := (r + 1) % p
+	olo, ohi := segBounds(n, p, ownSeg)
+	if ownSeg == r {
+		copy(out, work[olo:ohi])
+		return nil
+	}
+	// Send my finished segment to its owner (rank ownSeg−? ). Rank r holds
+	// segment (r+1)%p which belongs to rank (r+1)%p — a single shift.
+	dst := ownSeg
+	src := (r - 1 + p) % p
+	return c.sendRecv(dst, tagRedScat+p, work[olo:ohi], src, tagRedScat+p, out)
+}
+
+// Gather collects every rank's equal-length contribution at root: root's
+// out (length len(in)·P) receives rank i's block at offset i·len(in).
+// Non-root ranks may pass nil out. Flat algorithm: P−1 point-to-point
+// messages into the root.
+func (c *Communicator) Gather(in []float32, out []float32, root int) error {
+	p, r := c.Size(), c.Rank()
+	if root < 0 || root >= p {
+		return ErrLengthMismatch
+	}
+	if r == root {
+		if len(out) != len(in)*p {
+			return ErrLengthMismatch
+		}
+		copy(out[r*len(in):(r+1)*len(in)], in)
+		for src := 0; src < p; src++ {
+			if src == root {
+				continue
+			}
+			if err := c.recv(src, tagGatherR+src, out[src*len(in):(src+1)*len(in)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return c.send(root, tagGatherR+r, in)
+}
+
+// Scatter distributes root's blocks: rank i receives in[i·len(out) :
+// (i+1)·len(out)] into out. Non-root ranks may pass nil in.
+func (c *Communicator) Scatter(in []float32, out []float32, root int) error {
+	p, r := c.Size(), c.Rank()
+	if root < 0 || root >= p {
+		return ErrLengthMismatch
+	}
+	if r == root {
+		if len(in) != len(out)*p {
+			return ErrLengthMismatch
+		}
+		copy(out, in[r*len(out):(r+1)*len(out)])
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := c.send(dst, tagScatter+dst, in[dst*len(out):(dst+1)*len(out)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return c.recv(root, tagScatter+r, out)
+}
+
+// AlltoAll performs a full personalized exchange: rank r sends
+// in[i·blk : (i+1)·blk] to rank i and receives rank i's r-th block into
+// out[i·blk : (i+1)·blk]. in and out must both have length blk·P.
+// Pairwise-exchange algorithm: P−1 steps with partner r XOR-free rotation.
+func (c *Communicator) AlltoAll(in, out []float32, blk int) error {
+	p, r := c.Size(), c.Rank()
+	if len(in) != blk*p || len(out) != blk*p {
+		return ErrLengthMismatch
+	}
+	copy(out[r*blk:(r+1)*blk], in[r*blk:(r+1)*blk])
+	for s := 1; s < p; s++ {
+		sendTo := (r + s) % p
+		recvFrom := (r - s + p) % p
+		if err := c.sendRecv(
+			sendTo, tagA2A+s, in[sendTo*blk:(sendTo+1)*blk],
+			recvFrom, tagA2A+s, out[recvFrom*blk:(recvFrom+1)*blk],
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FusedAllreduceMean performs Horovod-style tensor fusion: the provided
+// buckets are concatenated into one flat buffer, averaged with a single
+// allreduce, and scattered back. Small tensors thereby share one collective
+// instead of paying per-tensor latency.
+func (c *Communicator) FusedAllreduceMean(buckets [][]float32, algo AllreduceAlgorithm) error {
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
+	}
+	flat := make([]float32, total)
+	off := 0
+	for _, b := range buckets {
+		copy(flat[off:], b)
+		off += len(b)
+	}
+	if err := c.AllreduceMean(flat, algo); err != nil {
+		return err
+	}
+	off = 0
+	for _, b := range buckets {
+		copy(b, flat[off:off+len(b)])
+		off += len(b)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestReduceScatter(t *testing.T) {
+	for _, p := range groupSizes {
+		for _, n := range []int{1, 7, 64, 1000} {
+			if n < p {
+				continue
+			}
+			ins, want := makeInputs(p, n, 21)
+			err := RunGroup(p, func(c *Communicator) error {
+				lo, hi := segBounds(n, p, c.Rank())
+				out := make([]float32, hi-lo)
+				if err := c.ReduceScatter(ins[c.Rank()], out); err != nil {
+					return err
+				}
+				for i := range out {
+					d := math.Abs(float64(out[i] - want[lo+i]))
+					if d > 1e-4 {
+						return fmt.Errorf("rank %d seg[%d]: %v want %v", c.Rank(), i, out[i], want[lo+i])
+					}
+				}
+				// The input must not be clobbered.
+				for i, v := range ins[c.Rank()] {
+					if v != ins[c.Rank()][i] {
+						return fmt.Errorf("input clobbered")
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d n=%d: %v", p, n, err)
+			}
+		}
+	}
+}
+
+func TestReduceScatterLengthMismatch(t *testing.T) {
+	err := RunGroup(2, func(c *Communicator) error {
+		return c.ReduceScatter(make([]float32, 10), make([]float32, 3))
+	})
+	if err != ErrLengthMismatch {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	for _, p := range groupSizes {
+		for root := 0; root < p; root += max(1, p-1) {
+			blk := 5
+			err := RunGroup(p, func(c *Communicator) error {
+				r := c.Rank()
+				in := make([]float32, blk)
+				for i := range in {
+					in[i] = float32(r*100 + i)
+				}
+				var out []float32
+				if r == root {
+					out = make([]float32, blk*p)
+				}
+				if err := c.Gather(in, out, root); err != nil {
+					return err
+				}
+				if r == root {
+					for src := 0; src < p; src++ {
+						for i := 0; i < blk; i++ {
+							if out[src*blk+i] != float32(src*100+i) {
+								return fmt.Errorf("gather[%d][%d] = %v", src, i, out[src*blk+i])
+							}
+						}
+					}
+				}
+				// Scatter the gathered data back out: every rank must
+				// recover its original contribution.
+				back := make([]float32, blk)
+				var src []float32
+				if r == root {
+					src = out
+				}
+				if err := c.Scatter(src, back, root); err != nil {
+					return err
+				}
+				for i := range back {
+					if back[i] != in[i] {
+						return fmt.Errorf("scatter back[%d] = %v want %v", i, back[i], in[i])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestGatherScatterValidation(t *testing.T) {
+	err := RunGroup(2, func(c *Communicator) error {
+		if c.Rank() == 0 {
+			if e := c.Gather(make([]float32, 2), make([]float32, 3), 0); e != ErrLengthMismatch {
+				return fmt.Errorf("gather: %v", e)
+			}
+			if e := c.Scatter(make([]float32, 3), make([]float32, 2), 0); e != ErrLengthMismatch {
+				return fmt.Errorf("scatter: %v", e)
+			}
+			if e := c.Gather(nil, nil, 9); e != ErrLengthMismatch {
+				return fmt.Errorf("bad root: %v", e)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoAll(t *testing.T) {
+	for _, p := range groupSizes {
+		blk := 3
+		err := RunGroup(p, func(c *Communicator) error {
+			r := c.Rank()
+			in := make([]float32, blk*p)
+			for dst := 0; dst < p; dst++ {
+				for i := 0; i < blk; i++ {
+					// Value encodes (sender, receiver, index).
+					in[dst*blk+i] = float32(r*10000 + dst*100 + i)
+				}
+			}
+			out := make([]float32, blk*p)
+			if err := c.AlltoAll(in, out, blk); err != nil {
+				return err
+			}
+			for src := 0; src < p; src++ {
+				for i := 0; i < blk; i++ {
+					want := float32(src*10000 + r*100 + i)
+					if out[src*blk+i] != want {
+						return fmt.Errorf("rank %d out[%d][%d] = %v want %v", r, src, i, out[src*blk+i], want)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAlltoAllLengthMismatch(t *testing.T) {
+	err := RunGroup(2, func(c *Communicator) error {
+		return c.AlltoAll(make([]float32, 4), make([]float32, 5), 2)
+	})
+	if err != ErrLengthMismatch {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestFusedAllreduceMean(t *testing.T) {
+	p := 4
+	// Three buckets of different sizes per rank; fusion must average each.
+	sizes := []int{3, 7, 1}
+	var mu sync.Mutex
+	got := make([][][]float32, p)
+	err := RunGroup(p, func(c *Communicator) error {
+		r := c.Rank()
+		buckets := make([][]float32, len(sizes))
+		for b, sz := range sizes {
+			buckets[b] = make([]float32, sz)
+			for i := range buckets[b] {
+				buckets[b][i] = float32(r + b*10 + i)
+			}
+		}
+		if err := c.FusedAllreduceMean(buckets, AlgoAuto); err != nil {
+			return err
+		}
+		mu.Lock()
+		got[r] = buckets
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected mean of float32(r + b*10 + i) over r=0..3 is 1.5 + b*10 + i.
+	for r := 0; r < p; r++ {
+		for b, sz := range sizes {
+			for i := 0; i < sz; i++ {
+				want := 1.5 + float32(b*10+i)
+				if math.Abs(float64(got[r][b][i]-want)) > 1e-5 {
+					t.Fatalf("rank %d bucket %d[%d] = %v want %v", r, b, i, got[r][b][i], want)
+				}
+			}
+		}
+	}
+}
+
+// ReduceScatter then Allgather must equal Allreduce — the classic identity
+// the ring algorithm is built on.
+func TestReduceScatterAllgatherIdentity(t *testing.T) {
+	p, n := 4, 100
+	ins, want := makeInputs(p, n, 33)
+	err := RunGroup(p, func(c *Communicator) error {
+		lo, hi := segBounds(n, p, c.Rank())
+		seg := make([]float32, hi-lo)
+		if err := c.ReduceScatter(ins[c.Rank()], seg); err != nil {
+			return err
+		}
+		// Segments are equal-size here (n divisible by p) so plain
+		// Allgather reassembles the full vector.
+		full := make([]float32, n)
+		if err := c.Allgather(seg, full); err != nil {
+			return err
+		}
+		for i := range full {
+			if math.Abs(float64(full[i]-want[i])) > 1e-4 {
+				return fmt.Errorf("elem %d: %v want %v", i, full[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,449 @@
+// Package comm implements the collective-communication substrate the paper
+// relies on (Horovod/MPI in the original evaluation): point-to-point
+// transports and the classic collective algorithms built on top of them —
+// ring and recursive-doubling allreduce, ring allgather (including the
+// variable-size allgatherv that sparse gradient exchange needs), binomial
+// broadcast and reduce, and a barrier.
+//
+// Two transports implement the same Transport interface: an in-process
+// channel fabric (this package; deterministic and fast, the default for
+// experiments) and a real TCP loopback fabric (package
+// a2sgd/internal/comm/tcpnet) used to validate that the collectives run
+// unchanged over an actual network stack.
+//
+// Every Communicator keeps per-rank traffic counters (payload bytes sent and
+// received, message counts); the benchmark harness feeds those counters into
+// the α–β network model (package a2sgd/internal/netsim) to reproduce the
+// paper's iteration-time figures.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Transport moves float32 payloads between ranks. Implementations must allow
+// concurrent Send and Recv from the same rank (the collectives overlap them)
+// and must preserve per-(src,dst) message ordering. Payload element values
+// are moved bit-exactly; callers may bit-cast integers through
+// math.Float32frombits to ship index data.
+type Transport interface {
+	// Rank returns this endpoint's 0-based rank.
+	Rank() int
+	// Size returns the number of ranks in the group.
+	Size() int
+	// Send transmits data to rank `to`. The buffer may be reused by the
+	// caller immediately after Send returns.
+	Send(to, tag int, data []float32) error
+	// Recv fills data with the next message from rank `from` carrying tag.
+	// The message length must equal len(data).
+	Recv(from, tag int, data []float32) error
+	// Close releases transport resources. Collectives must not be used
+	// afterwards.
+	Close() error
+}
+
+// Traffic aggregates the communication volume observed by one rank.
+type Traffic struct {
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+}
+
+// Communicator couples a Transport with traffic accounting and provides the
+// collectives. It is not safe for concurrent use by multiple goroutines; the
+// intended model is one Communicator per worker goroutine, mirroring MPI.
+type Communicator struct {
+	t         Transport
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+	msgsSent  atomic.Int64
+	msgsRecv  atomic.Int64
+}
+
+// NewCommunicator wraps a transport.
+func NewCommunicator(t Transport) *Communicator {
+	return &Communicator{t: t}
+}
+
+// Rank returns this communicator's rank.
+func (c *Communicator) Rank() int { return c.t.Rank() }
+
+// Size returns the group size.
+func (c *Communicator) Size() int { return c.t.Size() }
+
+// Close closes the underlying transport.
+func (c *Communicator) Close() error { return c.t.Close() }
+
+// Traffic returns a snapshot of the accumulated counters.
+func (c *Communicator) Traffic() Traffic {
+	return Traffic{
+		BytesSent: c.bytesSent.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+		MsgsSent:  c.msgsSent.Load(),
+		MsgsRecv:  c.msgsRecv.Load(),
+	}
+}
+
+// ResetTraffic zeroes the counters (between experiment phases).
+func (c *Communicator) ResetTraffic() {
+	c.bytesSent.Store(0)
+	c.bytesRecv.Store(0)
+	c.msgsSent.Store(0)
+	c.msgsRecv.Store(0)
+}
+
+func (c *Communicator) send(to, tag int, data []float32) error {
+	if err := c.t.Send(to, tag, data); err != nil {
+		return err
+	}
+	c.bytesSent.Add(int64(4 * len(data)))
+	c.msgsSent.Add(1)
+	return nil
+}
+
+func (c *Communicator) recv(from, tag int, data []float32) error {
+	if err := c.t.Recv(from, tag, data); err != nil {
+		return err
+	}
+	c.bytesRecv.Add(int64(4 * len(data)))
+	c.msgsRecv.Add(1)
+	return nil
+}
+
+// sendRecv overlaps one send and one receive, as every ring step requires;
+// doing them sequentially would deadlock on unbuffered transports.
+func (c *Communicator) sendRecv(to, tagS int, sendBuf []float32, from, tagR int, recvBuf []float32) error {
+	errc := make(chan error, 1)
+	go func() { errc <- c.send(to, tagS, sendBuf) }()
+	rerr := c.recv(from, tagR, recvBuf)
+	serr := <-errc
+	if serr != nil {
+		return serr
+	}
+	return rerr
+}
+
+// ErrLengthMismatch is returned when ranks disagree on collective sizes.
+var ErrLengthMismatch = errors.New("comm: collective buffer length mismatch")
+
+// tag bases keep concurrent collectives from crossing wires when several run
+// back to back in one training step.
+const (
+	tagRingRS = 1 << 16 // ring reduce-scatter
+	tagRingAG = 2 << 16 // ring allgather phase
+	tagRecDbl = 3 << 16
+	tagBcast  = 4 << 16
+	tagReduce = 5 << 16
+	tagGather = 6 << 16
+	tagAGV    = 7 << 16
+	tagBar    = 8 << 16
+)
+
+// Float32FromIndex bit-casts a non-negative index so that it can travel in a
+// float32 payload, and Float32ToIndex recovers it. Sparse exchange (Top-K /
+// Gaussian-K allgather) uses these helpers.
+func Float32FromIndex(i uint32) float32 { return math.Float32frombits(i) }
+
+// Float32ToIndex recovers an index stored with Float32FromIndex.
+func Float32ToIndex(f float32) uint32 { return math.Float32bits(f) }
+
+func segBounds(n, parts, i int) (lo, hi int) {
+	lo = i * n / parts
+	hi = (i + 1) * n / parts
+	return lo, hi
+}
+
+// AllreduceAlgorithm selects the allreduce implementation.
+type AllreduceAlgorithm int
+
+// Allreduce algorithm choices.
+const (
+	// AlgoAuto picks recursive doubling for short vectors (latency bound)
+	// and ring for long ones (bandwidth bound), the standard MPI heuristic.
+	AlgoAuto AllreduceAlgorithm = iota
+	// AlgoRing forces the bandwidth-optimal ring algorithm.
+	AlgoRing
+	// AlgoRecursiveDoubling forces the latency-optimal algorithm.
+	AlgoRecursiveDoubling
+)
+
+// autoCutover is the vector length below which recursive doubling wins.
+const autoCutover = 4096
+
+// AllreduceSum replaces v on every rank with the elementwise sum across all
+// ranks. All ranks must pass equal-length vectors and the same algorithm.
+func (c *Communicator) AllreduceSum(v []float32, algo AllreduceAlgorithm) error {
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	switch algo {
+	case AlgoRing:
+		return c.ringAllreduce(v)
+	case AlgoRecursiveDoubling:
+		return c.recDoublingAllreduce(v)
+	default:
+		if len(v) < autoCutover {
+			return c.recDoublingAllreduce(v)
+		}
+		return c.ringAllreduce(v)
+	}
+}
+
+// AllreduceMean is AllreduceSum followed by division by the group size —
+// exactly the Allreduce(·, average) of the paper's Algorithm 1, line 5.
+func (c *Communicator) AllreduceMean(v []float32, algo AllreduceAlgorithm) error {
+	if err := c.AllreduceSum(v, algo); err != nil {
+		return err
+	}
+	inv := 1 / float32(c.Size())
+	for i := range v {
+		v[i] *= inv
+	}
+	return nil
+}
+
+// ringAllreduce is the classic bandwidth-optimal two-phase algorithm:
+// a reduce-scatter of P-1 steps followed by an allgather of P-1 steps, each
+// moving n/P elements. Total traffic per rank: 2n(P-1)/P elements.
+func (c *Communicator) ringAllreduce(v []float32) error {
+	p, r := c.Size(), c.Rank()
+	n := len(v)
+	next := (r + 1) % p
+	prev := (r - 1 + p) % p
+	buf := make([]float32, (n+p-1)/p+1)
+
+	// Phase 1: reduce-scatter. After step s, rank r holds the partial sum
+	// of segment (r-s) mod p.
+	for s := 0; s < p-1; s++ {
+		sendSeg := (r - s + p) % p
+		recvSeg := (r - s - 1 + p) % p
+		slo, shi := segBounds(n, p, sendSeg)
+		rlo, rhi := segBounds(n, p, recvSeg)
+		rb := buf[:rhi-rlo]
+		if err := c.sendRecv(next, tagRingRS+s, v[slo:shi], prev, tagRingRS+s, rb); err != nil {
+			return err
+		}
+		for i := range rb {
+			v[rlo+i] += rb[i]
+		}
+	}
+	// Phase 2: allgather. Rank r owns the fully reduced segment (r+1) mod p.
+	for s := 0; s < p-1; s++ {
+		sendSeg := (r + 1 - s + p) % p
+		recvSeg := (r - s + p) % p
+		slo, shi := segBounds(n, p, sendSeg)
+		rlo, rhi := segBounds(n, p, recvSeg)
+		if err := c.sendRecv(next, tagRingAG+s, v[slo:shi], prev, tagRingAG+s, v[rlo:rhi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recDoublingAllreduce implements the MPICH recursive-doubling algorithm
+// with the standard fold for non-power-of-two group sizes.
+func (c *Communicator) recDoublingAllreduce(v []float32) error {
+	p, r := c.Size(), c.Rank()
+	pow2 := 1
+	for pow2*2 <= p {
+		pow2 *= 2
+	}
+	rem := p - pow2
+	buf := make([]float32, len(v))
+
+	// Fold: the first 2*rem ranks pair up; odd ones ship data to even ones
+	// and sit out, leaving a power-of-two active set.
+	newRank := -1
+	switch {
+	case r < 2*rem && r%2 == 1:
+		if err := c.send(r-1, tagRecDbl, v); err != nil {
+			return err
+		}
+	case r < 2*rem && r%2 == 0:
+		if err := c.recv(r+1, tagRecDbl, buf); err != nil {
+			return err
+		}
+		addInto(v, buf)
+		newRank = r / 2
+	default:
+		newRank = r - rem
+	}
+
+	if newRank >= 0 {
+		for mask := 1; mask < pow2; mask <<= 1 {
+			partnerNew := newRank ^ mask
+			partner := partnerNew + rem
+			if partnerNew < rem {
+				partner = partnerNew * 2
+			}
+			if err := c.sendRecv(partner, tagRecDbl+mask, v, partner, tagRecDbl+mask, buf); err != nil {
+				return err
+			}
+			addInto(v, buf)
+		}
+	}
+
+	// Unfold: even fold-ranks return the result to their odd partner.
+	switch {
+	case r < 2*rem && r%2 == 1:
+		if err := c.recv(r-1, tagRecDbl+1<<15, v); err != nil {
+			return err
+		}
+	case r < 2*rem && r%2 == 0:
+		if err := c.send(r+1, tagRecDbl+1<<15, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func addInto(dst, src []float32) {
+	for i, s := range src {
+		dst[i] += s
+	}
+}
+
+// Allgather concatenates each rank's equal-size contribution into out,
+// which must have length len(in)*Size(). Rank i's block lands at offset
+// i*len(in). Ring algorithm: P-1 steps of len(in) elements.
+func (c *Communicator) Allgather(in, out []float32) error {
+	p, r := c.Size(), c.Rank()
+	if len(out) != len(in)*p {
+		return ErrLengthMismatch
+	}
+	copy(out[r*len(in):(r+1)*len(in)], in)
+	if p == 1 {
+		return nil
+	}
+	next := (r + 1) % p
+	prev := (r - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sendBlk := (r - s + p) % p
+		recvBlk := (r - s - 1 + p) % p
+		sb := out[sendBlk*len(in) : (sendBlk+1)*len(in)]
+		rb := out[recvBlk*len(in) : (recvBlk+1)*len(in)]
+		if err := c.sendRecv(next, tagGather+s, sb, prev, tagGather+s, rb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllgatherV gathers variable-length contributions from every rank. It first
+// allgathers the lengths (one element each), then runs a ring over the
+// variable blocks. Returns the concatenation in rank order plus each rank's
+// length. This is the exchange primitive Gaussian-K sparsification uses
+// (its selected count varies per rank) and the one the paper's §4.4 credits
+// for Gaussian-K's iteration-time edge on fast networks.
+func (c *Communicator) AllgatherV(in []float32) (out []float32, lens []int, err error) {
+	p, r := c.Size(), c.Rank()
+	lenBuf := make([]float32, p)
+	my := []float32{Float32FromIndex(uint32(len(in)))}
+	if err := c.Allgather(my, lenBuf); err != nil {
+		return nil, nil, err
+	}
+	lens = make([]int, p)
+	offs := make([]int, p+1)
+	for i := 0; i < p; i++ {
+		lens[i] = int(Float32ToIndex(lenBuf[i]))
+		offs[i+1] = offs[i] + lens[i]
+	}
+	out = make([]float32, offs[p])
+	copy(out[offs[r]:offs[r+1]], in)
+	if p == 1 {
+		return out, lens, nil
+	}
+	next := (r + 1) % p
+	prev := (r - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sendBlk := (r - s + p) % p
+		recvBlk := (r - s - 1 + p) % p
+		sb := out[offs[sendBlk]:offs[sendBlk+1]]
+		rb := out[offs[recvBlk]:offs[recvBlk+1]]
+		if err := c.sendRecv(next, tagAGV+s, sb, prev, tagAGV+s, rb); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, lens, nil
+}
+
+// Broadcast distributes root's v to every rank (binomial tree, ⌈log2 P⌉
+// rounds).
+func (c *Communicator) Broadcast(v []float32, root int) error {
+	p, r := c.Size(), c.Rank()
+	if p == 1 {
+		return nil
+	}
+	if root < 0 || root >= p {
+		return fmt.Errorf("comm: broadcast root %d out of range", root)
+	}
+	// Work in a rotated space where root is rank 0.
+	vr := (r - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr < mask {
+			partner := vr | mask
+			if partner < p {
+				if err := c.send((partner+root)%p, tagBcast+mask, v); err != nil {
+					return err
+				}
+			}
+		} else if vr < mask<<1 {
+			if err := c.recv((vr-mask+root)%p, tagBcast+mask, v); err != nil {
+				return err
+			}
+		}
+		mask <<= 1
+	}
+	return nil
+}
+
+// Reduce sums every rank's v into root's v (binomial tree). Non-root ranks'
+// buffers are left in an unspecified partially-reduced state, like MPI.
+func (c *Communicator) Reduce(v []float32, root int) error {
+	p, r := c.Size(), c.Rank()
+	if p == 1 {
+		return nil
+	}
+	if root < 0 || root >= p {
+		return fmt.Errorf("comm: reduce root %d out of range", root)
+	}
+	vr := (r - root + p) % p
+	buf := make([]float32, len(v))
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			return c.send((vr-mask+root)%p, tagReduce+mask, v)
+		}
+		partner := vr | mask
+		if partner < p {
+			if err := c.recv((partner+root)%p, tagReduce+mask, buf); err != nil {
+				return err
+			}
+			addInto(v, buf)
+		}
+		mask <<= 1
+	}
+	return nil
+}
+
+// Barrier blocks until every rank has entered it (dissemination algorithm,
+// ⌈log2 P⌉ rounds of 1-element messages).
+func (c *Communicator) Barrier() error {
+	p, r := c.Size(), c.Rank()
+	one := []float32{1}
+	buf := []float32{0}
+	for round, dist := 0, 1; dist < p; round, dist = round+1, dist*2 {
+		to := (r + dist) % p
+		from := (r - dist + p) % p
+		if err := c.sendRecv(to, tagBar+round, one, from, tagBar+round, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// inprocMsg carries one tagged payload between two ranks.
+type inprocMsg struct {
+	tag  int
+	data []float32
+}
+
+// InprocFabric is an in-process point-to-point fabric: a matrix of buffered
+// channels, one per ordered (src, dst) pair. It is the default transport for
+// experiments — deterministic, allocation-light, and it exercises exactly
+// the same collective code paths as the TCP transport.
+type InprocFabric struct {
+	size  int
+	chans [][]chan inprocMsg // chans[src][dst]
+	done  chan struct{}
+	once  sync.Once
+}
+
+// inprocDepth bounds in-flight messages per ordered pair. The collectives
+// never have more than a couple outstanding, but sparse allgatherv interleaves
+// a length exchange with the payload ring, so leave headroom.
+const inprocDepth = 16
+
+// NewInprocFabric creates a fabric for size ranks.
+func NewInprocFabric(size int) *InprocFabric {
+	if size <= 0 {
+		panic("comm: fabric size must be positive")
+	}
+	f := &InprocFabric{size: size, done: make(chan struct{})}
+	f.chans = make([][]chan inprocMsg, size)
+	for s := range f.chans {
+		f.chans[s] = make([]chan inprocMsg, size)
+		for d := range f.chans[s] {
+			f.chans[s][d] = make(chan inprocMsg, inprocDepth)
+		}
+	}
+	return f
+}
+
+// Size returns the number of ranks.
+func (f *InprocFabric) Size() int { return f.size }
+
+// Shutdown unblocks all pending and future operations with ErrFabricClosed.
+func (f *InprocFabric) Shutdown() {
+	f.once.Do(func() { close(f.done) })
+}
+
+// ErrFabricClosed is returned by transport operations after Shutdown.
+var ErrFabricClosed = errors.New("comm: fabric closed")
+
+// Transport returns the endpoint for one rank.
+func (f *InprocFabric) Transport(rank int) Transport {
+	if rank < 0 || rank >= f.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, f.size))
+	}
+	return &inprocTransport{f: f, rank: rank}
+}
+
+// Communicators returns one ready Communicator per rank.
+func (f *InprocFabric) Communicators() []*Communicator {
+	cs := make([]*Communicator, f.size)
+	for i := range cs {
+		cs[i] = NewCommunicator(f.Transport(i))
+	}
+	return cs
+}
+
+type inprocTransport struct {
+	f    *InprocFabric
+	rank int
+}
+
+func (t *inprocTransport) Rank() int { return t.rank }
+func (t *inprocTransport) Size() int { return t.f.size }
+
+func (t *inprocTransport) Send(to, tag int, data []float32) error {
+	if to < 0 || to >= t.f.size {
+		return fmt.Errorf("comm: send to invalid rank %d", to)
+	}
+	// A closed fabric must fail sends deterministically even when buffer
+	// space remains (select would otherwise pick randomly among ready cases).
+	select {
+	case <-t.f.done:
+		return ErrFabricClosed
+	default:
+	}
+	// Copy: the caller may reuse the buffer as soon as Send returns.
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	select {
+	case t.f.chans[t.rank][to] <- inprocMsg{tag: tag, data: cp}:
+		return nil
+	case <-t.f.done:
+		return ErrFabricClosed
+	}
+}
+
+func (t *inprocTransport) Recv(from, tag int, data []float32) error {
+	if from < 0 || from >= t.f.size {
+		return fmt.Errorf("comm: recv from invalid rank %d", from)
+	}
+	select {
+	case m := <-t.f.chans[from][t.rank]:
+		if m.tag != tag {
+			return fmt.Errorf("comm: tag mismatch recv(%d<-%d): got %d want %d", t.rank, from, m.tag, tag)
+		}
+		if len(m.data) != len(data) {
+			return fmt.Errorf("comm: length mismatch recv(%d<-%d) tag %d: got %d want %d",
+				t.rank, from, tag, len(m.data), len(data))
+		}
+		copy(data, m.data)
+		return nil
+	case <-t.f.done:
+		return ErrFabricClosed
+	}
+}
+
+func (t *inprocTransport) Close() error { return nil }
+
+// RunGroup is a convenience harness: it spawns one goroutine per rank over a
+// fresh in-process fabric, runs body(rank's communicator), and returns the
+// first error. The experiments and many tests use it as their "mpirun".
+func RunGroup(size int, body func(c *Communicator) error) error {
+	f := NewInprocFabric(size)
+	defer f.Shutdown()
+	cs := f.Communicators()
+	errs := make(chan error, size)
+	var wg sync.WaitGroup
+	for _, c := range cs {
+		wg.Add(1)
+		go func(c *Communicator) {
+			defer wg.Done()
+			if err := body(c); err != nil {
+				errs <- err
+				f.Shutdown() // unblock peers so the group can't hang
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,276 @@
+// Package tcpnet implements the comm.Transport interface over real TCP
+// sockets. It exists to prove that the collective algorithms in
+// a2sgd/internal/comm run unchanged over an actual network stack — the role
+// the 100 Gbps InfiniBand fabric plays in the paper's testbed — and to host
+// the failure-injection tests (a dead worker surfaces as a transport error,
+// not a hang).
+//
+// Topology: full mesh. Every rank opens one listener; rank i dials every
+// rank j > i and identifies itself with a 4-byte handshake. Messages are
+// framed as [uint32 tag][uint32 nElems][nElems × float32 little-endian].
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+
+	"a2sgd/internal/comm"
+)
+
+// Transport is a TCP-backed comm.Transport endpoint.
+type Transport struct {
+	rank, size int
+	listener   net.Listener
+
+	mu    sync.Mutex // guards conns/writers during setup and Close
+	conns []net.Conn
+	wmu   []sync.Mutex // per-peer write lock
+	rmu   []sync.Mutex // per-peer read lock
+	rbuf  []*bufio.Reader
+}
+
+var _ comm.Transport = (*Transport)(nil)
+
+// Rank returns this endpoint's rank.
+func (t *Transport) Rank() int { return t.rank }
+
+// Size returns the group size.
+func (t *Transport) Size() int { return t.size }
+
+// Addr returns the listen address of this endpoint.
+func (t *Transport) Addr() string { return t.listener.Addr().String() }
+
+// NewLocalGroup builds a fully connected TCP group of the given size on the
+// loopback interface and returns one Communicator per rank plus a shutdown
+// function. It is the single-process analogue of an mpirun over TCP.
+func NewLocalGroup(size int) ([]*comm.Communicator, func(), error) {
+	ts := make([]*Transport, size)
+	for r := 0; r < size; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, fmt.Errorf("tcpnet: listen rank %d: %w", r, err)
+		}
+		ts[r] = &Transport{
+			rank: r, size: size, listener: ln,
+			conns: make([]net.Conn, size),
+			wmu:   make([]sync.Mutex, size),
+			rmu:   make([]sync.Mutex, size),
+			rbuf:  make([]*bufio.Reader, size),
+		}
+	}
+	addrs := make([]string, size)
+	for r, t := range ts {
+		addrs[r] = t.Addr()
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*size*size)
+	// Accept loop per rank: expect `rank` inbound connections (from lower ranks).
+	for r := 1; r < size; r++ {
+		wg.Add(1)
+		go func(t *Transport) {
+			defer wg.Done()
+			for i := 0; i < t.rank; i++ {
+				conn, err := t.listener.Accept()
+				if err != nil {
+					errc <- err
+					return
+				}
+				var hdr [4]byte
+				if _, err := readFull(conn, hdr[:]); err != nil {
+					errc <- err
+					return
+				}
+				peer := int(binary.LittleEndian.Uint32(hdr[:]))
+				if peer < 0 || peer >= t.size {
+					errc <- fmt.Errorf("tcpnet: bad handshake rank %d", peer)
+					return
+				}
+				t.setConn(peer, conn)
+			}
+		}(ts[r])
+	}
+	// Dial from each rank to all higher ranks.
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(t *Transport) {
+			defer wg.Done()
+			for peer := t.rank + 1; peer < size; peer++ {
+				conn, err := net.Dial("tcp", addrs[peer])
+				if err != nil {
+					errc <- err
+					return
+				}
+				var hdr [4]byte
+				binary.LittleEndian.PutUint32(hdr[:], uint32(t.rank))
+				if _, err := conn.Write(hdr[:]); err != nil {
+					errc <- err
+					return
+				}
+				t.setConn(peer, conn)
+			}
+		}(ts[r])
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		for _, t := range ts {
+			_ = t.Close()
+		}
+		return nil, nil, err
+	default:
+	}
+
+	cs := make([]*comm.Communicator, size)
+	for r, t := range ts {
+		cs[r] = comm.NewCommunicator(t)
+	}
+	shutdown := func() {
+		for _, t := range ts {
+			_ = t.Close()
+		}
+	}
+	return cs, shutdown, nil
+}
+
+func (t *Transport) setConn(peer int, conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	t.mu.Lock()
+	t.conns[peer] = conn
+	t.rbuf[peer] = bufio.NewReaderSize(conn, 1<<16)
+	t.mu.Unlock()
+}
+
+func (t *Transport) conn(peer int) (net.Conn, *bufio.Reader, error) {
+	if peer < 0 || peer >= t.size || peer == t.rank {
+		return nil, nil, fmt.Errorf("tcpnet: invalid peer %d", peer)
+	}
+	t.mu.Lock()
+	c, r := t.conns[peer], t.rbuf[peer]
+	t.mu.Unlock()
+	if c == nil {
+		return nil, nil, fmt.Errorf("tcpnet: no connection to peer %d", peer)
+	}
+	return c, r, nil
+}
+
+// Send implements comm.Transport.
+func (t *Transport) Send(to, tag int, data []float32) error {
+	conn, _, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+4*len(data))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(tag))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(data)))
+	for i, f := range data {
+		binary.LittleEndian.PutUint32(buf[8+4*i:], math.Float32bits(f))
+	}
+	t.wmu[to].Lock()
+	defer t.wmu[to].Unlock()
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("tcpnet: send to %d: %w", to, err)
+	}
+	return nil
+}
+
+// Recv implements comm.Transport.
+func (t *Transport) Recv(from, tag int, data []float32) error {
+	_, r, err := t.conn(from)
+	if err != nil {
+		return err
+	}
+	t.rmu[from].Lock()
+	defer t.rmu[from].Unlock()
+	var hdr [8]byte
+	if _, err := readFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("tcpnet: recv from %d: %w", from, err)
+	}
+	gotTag := int(binary.LittleEndian.Uint32(hdr[0:]))
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if gotTag != tag {
+		return fmt.Errorf("tcpnet: tag mismatch from %d: got %d want %d", from, gotTag, tag)
+	}
+	if n != len(data) {
+		return fmt.Errorf("tcpnet: length mismatch from %d tag %d: got %d want %d", from, tag, n, len(data))
+	}
+	buf := make([]byte, 4*n)
+	if _, err := readFull(r, buf); err != nil {
+		return fmt.Errorf("tcpnet: recv payload from %d: %w", from, err)
+	}
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+// Close shuts the listener and all peer connections; pending Recvs fail.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	if t.listener != nil {
+		first = t.listener.Close()
+		t.listener = nil
+	}
+	for i, c := range t.conns {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+			t.conns[i] = nil
+		}
+	}
+	return first
+}
+
+type reader interface{ Read([]byte) (int, error) }
+
+func readFull(r reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// RunGroup is the TCP analogue of comm.RunGroup: it builds a loopback mesh
+// of the given size, runs body on one goroutine per rank, and tears the
+// sockets down afterwards. The training runtime accepts it as a GroupRunner
+// to run whole experiments over a real network stack.
+func RunGroup(size int, body func(c *comm.Communicator) error) error {
+	cs, shutdown, err := NewLocalGroup(size)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	errs := make(chan error, size)
+	var wg sync.WaitGroup
+	for _, c := range cs {
+		wg.Add(1)
+		go func(c *comm.Communicator) {
+			defer wg.Done()
+			if err := body(c); err != nil {
+				errs <- err
+				shutdown() // unblock peers
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

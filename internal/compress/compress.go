@@ -1,0 +1,142 @@
+// Package compress defines the gradient-synchronization algorithm interface
+// shared by every method the paper evaluates, and implements the baselines:
+// dense SGD, Top-K and Gaussian-K sparsification (with error feedback and
+// allgather exchange), QSGD quantization (with real bit-packing), plus the
+// Rand-K and TernGrad extensions discussed in the paper's related work.
+//
+// The paper's own contribution, two-level gradient averaging (A2SGD), lives
+// in package a2sgd/internal/core and implements the same interface.
+//
+// Every algorithm is split into two phases, mirroring how the paper accounts
+// computation (Figure 2) separately from communication (Figures 4–5):
+//
+//   - Encode: the purely local computation on the gradient — selection,
+//     quantization, or mean extraction — including error-feedback updates.
+//   - Exchange: the collective communication that turns per-worker payloads
+//     into the globally synchronized gradient.
+package compress
+
+import (
+	"fmt"
+
+	"a2sgd/internal/comm"
+	"a2sgd/internal/netsim"
+)
+
+// Payload is the result of local compression: the packed float32 words that
+// will travel on the fabric plus the analytic size in bits. Integer data
+// (sparse indices, packed quantization words) is bit-cast into the float32
+// stream via comm.Float32FromIndex.
+type Payload struct {
+	// Data is the packed payload handed to the collective.
+	Data []float32
+	// Bits is the analytic payload size in bits (what Table 2 reports).
+	Bits int64
+}
+
+// Algorithm is one gradient-synchronization method.
+//
+// An Algorithm instance belongs to a single worker: it owns per-worker state
+// (error-feedback residuals, RNG) and must not be shared across goroutines.
+type Algorithm interface {
+	// Name returns the identifier used in reports ("a2sgd", "topk", ...).
+	Name() string
+	// Encode runs the local compression of gradient g. It may read and
+	// update internal residual state but must not modify g.
+	Encode(g []float32) Payload
+	// Exchange performs the collective synchronization of the payload and
+	// writes the synchronized (worker-averaged) gradient into g. g must be
+	// the same vector passed to the immediately preceding Encode.
+	Exchange(p Payload, g []float32, c *comm.Communicator) error
+	// ExchangeKind reports which collective dominates the exchange, for
+	// the α–β network model.
+	ExchangeKind() netsim.ExchangeKind
+	// PayloadBytes returns the analytic per-worker payload in bytes for an
+	// n-parameter model, used by the traffic tables and netsim.
+	PayloadBytes(n int) int64
+	// Reset clears error-feedback state (between convergence runs).
+	Reset()
+}
+
+// Sync is the one-call convenience the training loop uses:
+// Encode followed by Exchange.
+func Sync(a Algorithm, g []float32, c *comm.Communicator) (Payload, error) {
+	p := a.Encode(g)
+	return p, a.Exchange(p, g, c)
+}
+
+// Options bundles the tunables shared by the algorithm constructors.
+type Options struct {
+	// N is the model's parameter count (the gradient length).
+	N int
+	// Density is the selected fraction k/n for sparsifiers. The paper's
+	// appendix uses 0.001 ("Threshold for TopK and GaussianK is 0.001d").
+	Density float64
+	// QuantLevels is QSGD's s parameter; the paper's appendix uses 4.
+	QuantLevels int
+	// Seed seeds per-worker stochastic compression (QSGD, Rand-K, TernGrad).
+	Seed uint64
+	// Allreduce selects the dense/scalar allreduce algorithm.
+	Allreduce comm.AllreduceAlgorithm
+}
+
+// DefaultOptions mirrors the paper's experimental appendix for an
+// n-parameter model: density 0.001, QSGD quantization level 4.
+func DefaultOptions(n int) Options {
+	return Options{N: n, Density: 0.001, QuantLevels: 4, Seed: 1, Allreduce: comm.AlgoAuto}
+}
+
+// K returns the sparsifier selection count implied by the options, ≥ 1.
+func (o Options) K() int {
+	k := int(o.Density * float64(o.N))
+	if k < 1 {
+		k = 1
+	}
+	if k > o.N {
+		k = o.N
+	}
+	return k
+}
+
+func (o Options) validate() {
+	if o.N <= 0 {
+		panic(fmt.Sprintf("compress: invalid N=%d", o.N))
+	}
+}
+
+// ---- Dense SGD ----
+
+// Dense is the default distributed SGD synchronization: every worker
+// allreduce-averages the full 32n-bit gradient. Its local computation is
+// O(1) — there is nothing to compress (Table 2, row 1).
+type Dense struct {
+	algo comm.AllreduceAlgorithm
+}
+
+// NewDense builds the dense baseline.
+func NewDense(o Options) *Dense {
+	o.validate()
+	return &Dense{algo: o.Allreduce}
+}
+
+// Name implements Algorithm.
+func (d *Dense) Name() string { return "dense" }
+
+// Encode is the identity: the payload is the gradient itself (no copy).
+func (d *Dense) Encode(g []float32) Payload {
+	return Payload{Data: g, Bits: int64(32 * len(g))}
+}
+
+// Exchange allreduce-averages the gradient in place.
+func (d *Dense) Exchange(p Payload, g []float32, c *comm.Communicator) error {
+	return c.AllreduceMean(g, d.algo)
+}
+
+// ExchangeKind implements Algorithm.
+func (d *Dense) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllreduce }
+
+// PayloadBytes implements Algorithm: 32n bits.
+func (d *Dense) PayloadBytes(n int) int64 { return int64(4 * n) }
+
+// Reset implements Algorithm (no state).
+func (d *Dense) Reset() {}

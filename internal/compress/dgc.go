@@ -1,0 +1,78 @@
+package compress
+
+import (
+	"a2sgd/internal/comm"
+	"a2sgd/internal/netsim"
+)
+
+// DGC implements the core of Deep Gradient Compression (Lin et al., the
+// paper's reference [37]): Top-K sparsification with *momentum correction*.
+// Plain error feedback accumulates raw gradients in the residual, which
+// stalls momentum-SGD; DGC instead accumulates a locally-updated momentum
+// and transmits the largest entries of the accumulated velocity, applying
+// momentum-factor masking (both buffers are cleared at transmitted
+// coordinates). Gradient clipping — the other DGC ingredient — is omitted:
+// the training runtime already guards against non-finite gradients.
+type DGC struct {
+	k        int
+	momentum float32
+	u        []float32 // momentum accumulator
+	v        []float32 // velocity accumulator
+}
+
+// NewDGC builds a DGC compressor with momentum 0.9 (Lin et al.'s setting).
+func NewDGC(o Options) *DGC {
+	o.validate()
+	return &DGC{
+		k:        o.K(),
+		momentum: 0.9,
+		u:        make([]float32, o.N),
+		v:        make([]float32, o.N),
+	}
+}
+
+// Name implements Algorithm.
+func (d *DGC) Name() string { return "dgc" }
+
+// K exposes the selection count.
+func (d *DGC) K() int { return d.k }
+
+// Encode folds g into the momentum and velocity buffers, selects the top-k
+// velocity entries, and clears them in both buffers (momentum factor
+// masking).
+func (d *DGC) Encode(g []float32) Payload {
+	if len(g) != len(d.u) {
+		panic("compress: gradient length changed between steps")
+	}
+	for i, x := range g {
+		d.u[i] = d.momentum*d.u[i] + x
+		d.v[i] += d.u[i]
+	}
+	idx := topKIndices(d.v, d.k)
+	val := make([]float32, len(idx))
+	for i, ix := range idx {
+		val[i] = d.v[ix]
+		d.v[ix] = 0
+		d.u[ix] = 0
+	}
+	return sparsePayload(idx, val)
+}
+
+// Exchange implements Algorithm via the sparse allgather.
+func (d *DGC) Exchange(p Payload, g []float32, c *comm.Communicator) error {
+	return sparseExchange(p, g, c)
+}
+
+// ExchangeKind implements Algorithm.
+func (d *DGC) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgather }
+
+// PayloadBytes implements Algorithm: 32k bits (value accounting).
+func (d *DGC) PayloadBytes(n int) int64 { return int64(4 * d.k) }
+
+// Reset implements Algorithm.
+func (d *DGC) Reset() {
+	for i := range d.u {
+		d.u[i] = 0
+		d.v[i] = 0
+	}
+}

@@ -1,0 +1,115 @@
+package compress
+
+import (
+	"math"
+	"testing"
+
+	"a2sgd/internal/comm"
+	"a2sgd/internal/netsim"
+)
+
+func TestDGCMetadata(t *testing.T) {
+	d := NewDGC(Options{N: 10000, Density: 0.001})
+	if d.Name() != "dgc" {
+		t.Error("name")
+	}
+	if d.K() != 10 {
+		t.Errorf("k = %d", d.K())
+	}
+	if d.ExchangeKind() != netsim.ExchangeAllgather {
+		t.Error("kind")
+	}
+	if d.PayloadBytes(10000) != 40 {
+		t.Error("payload")
+	}
+}
+
+func TestDGCMomentumAccumulation(t *testing.T) {
+	// With k=1 and a constant gradient, the transmitted value must grow
+	// super-linearly across steps (velocity accumulates momentum-corrected
+	// gradients), unlike plain EF which grows linearly.
+	n := 4
+	d := NewDGC(Options{N: n, Density: 1.0 / float64(n)})
+	g := []float32{0, 1, 0, 0}
+	var vals []float32
+	for s := 0; s < 3; s++ {
+		p := d.Encode(g)
+		if ix := comm.Float32ToIndex(p.Data[0]); ix != 1 {
+			t.Fatalf("step %d selected %d", s, ix)
+		}
+		vals = append(vals, p.Data[1])
+	}
+	// Step 0: u=1, v=1 → tx 1. Buffers cleared at 1. Step 1 identical.
+	if math.Abs(float64(vals[0]-1)) > 1e-6 || math.Abs(float64(vals[1]-1)) > 1e-6 {
+		t.Errorf("vals = %v", vals)
+	}
+	// Untransmitted coordinates keep accumulating: check index 1 is always
+	// the winner and buffers at other indices stay zero for zero grads.
+	for i, v := range d.u {
+		if i != 1 && v != 0 {
+			t.Errorf("u[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestDGCMomentumMasking(t *testing.T) {
+	// After transmission, both buffers must be cleared at the transmitted
+	// coordinate.
+	n := 8
+	d := NewDGC(Options{N: n, Density: 1.0 / float64(n)})
+	g := make([]float32, n)
+	g[3] = 5
+	d.Encode(g)
+	if d.u[3] != 0 || d.v[3] != 0 {
+		t.Errorf("masking failed: u=%v v=%v", d.u[3], d.v[3])
+	}
+	d.Reset()
+	for i := range d.u {
+		if d.u[i] != 0 || d.v[i] != 0 {
+			t.Fatal("reset failed")
+		}
+	}
+}
+
+func TestDGCDeferredTransmission(t *testing.T) {
+	// A small persistent gradient must eventually out-accumulate and ship.
+	n := 4
+	d := NewDGC(Options{N: n, Density: 1.0 / float64(n)})
+	g := []float32{1.0, 0.45, 0, 0}
+	shippedSmall := false
+	for s := 0; s < 6; s++ {
+		p := d.Encode(g)
+		if comm.Float32ToIndex(p.Data[0]) == 1 {
+			shippedSmall = true
+		}
+	}
+	if !shippedSmall {
+		t.Error("momentum-corrected residual never shipped the small coordinate")
+	}
+}
+
+func TestDGCSyncAverages(t *testing.T) {
+	n := 20
+	g0 := make([]float32, n)
+	g1 := make([]float32, n)
+	g0[4] = 2
+	g1[4] = 4
+	out := runSync(t, 2, func(int) Algorithm {
+		return NewDGC(Options{N: n, Density: 0.05})
+	}, [][]float32{g0, g1})
+	for r := 0; r < 2; r++ {
+		if math.Abs(float64(out[r][4]-3)) > 1e-5 {
+			t.Errorf("rank %d out[4] = %v want 3", r, out[r][4])
+		}
+	}
+}
+
+func TestDGCLengthChangePanics(t *testing.T) {
+	d := NewDGC(Options{N: 4, Density: 0.5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Encode(make([]float32, 5))
+}

@@ -1,0 +1,225 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"a2sgd/internal/comm"
+	"a2sgd/internal/netsim"
+	"a2sgd/internal/tensor"
+)
+
+func TestEliasGammaRoundTrip(t *testing.T) {
+	var w bitWriter
+	values := []uint32{1, 2, 3, 4, 5, 7, 8, 100, 1023, 1024, 1 << 20}
+	for _, v := range values {
+		eliasGammaWrite(&w, v)
+	}
+	r := &bitReader{words: w.words}
+	for _, want := range values {
+		if got := eliasGammaRead(r); got != want {
+			t.Fatalf("round trip: got %d want %d", got, want)
+		}
+	}
+}
+
+func TestEliasGammaKnownCodes(t *testing.T) {
+	// gamma(1) = "1" (1 bit); gamma(2) = "010" (3); gamma(4) = "00100" (5).
+	cases := map[uint32]uint64{1: 1, 2: 3, 3: 3, 4: 5, 7: 5, 8: 7}
+	for v, bits := range cases {
+		var w bitWriter
+		eliasGammaWrite(&w, v)
+		if w.nbits != bits {
+			t.Errorf("gamma(%d): %d bits, want %d", v, w.nbits, bits)
+		}
+	}
+}
+
+func TestEliasGammaZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var w bitWriter
+	eliasGammaWrite(&w, 0)
+}
+
+func TestEliasGammaProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		if v == 0 {
+			v = 1
+		}
+		var w bitWriter
+		eliasGammaWrite(&w, v)
+		r := &bitReader{words: w.words}
+		return eliasGammaRead(r) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitWriterReaderAcrossWordBoundaries(t *testing.T) {
+	var w bitWriter
+	// 3 + 31 + 7 bits straddle word boundaries.
+	w.writeBits(0b101, 3)
+	w.writeBits(0x7fffffff, 31)
+	w.writeBits(0b1010101, 7)
+	r := &bitReader{words: w.words}
+	if got := r.readBits(3); got != 0b101 {
+		t.Fatalf("first field %b", got)
+	}
+	if got := r.readBits(31); got != 0x7fffffff {
+		t.Fatalf("second field %x", got)
+	}
+	if got := r.readBits(7); got != 0b1010101 {
+		t.Fatalf("third field %b", got)
+	}
+	// Reading past the end yields zeros, not a crash.
+	if got := r.readBits(16); got != 0 {
+		t.Fatalf("past-end read %x", got)
+	}
+}
+
+func TestQSGDEliasRoundTripBounds(t *testing.T) {
+	n := 2000
+	o := DefaultOptions(n)
+	o.Seed = 5
+	e := NewQSGDElias(o)
+	g := randGrad(55, n)
+	norm := tensor.Norm2(g)
+	p := e.Encode(g)
+	dec := make([]float32, n)
+	e.Decode(p.Data, dec)
+	step := norm/float64(e.Levels()) + 1e-6
+	for i := range g {
+		if math.Abs(float64(dec[i]-g[i])) > step {
+			t.Fatalf("elem %d: |%v-%v| > %v", i, dec[i], g[i], step)
+		}
+		if dec[i] != 0 && (dec[i] > 0) != (g[i] >= 0) {
+			t.Fatalf("elem %d: sign flipped", i)
+		}
+	}
+}
+
+func TestQSGDEliasCompressesBelowFixedWidth(t *testing.T) {
+	// For Gaussian gradients the entropy-coded stream must be much smaller
+	// than the 4-bit fixed-width QSGD stream — the point of the coding.
+	n := 100_000
+	o := DefaultOptions(n)
+	g := randGrad(66, n)
+	fixed := NewQSGD(o).Encode(g)
+	coded := NewQSGDElias(o).Encode(g)
+	if coded.Bits >= fixed.Bits {
+		t.Errorf("elias %d bits >= fixed %d bits", coded.Bits, fixed.Bits)
+	}
+	// And it must stay within the paper's analytic envelope.
+	if coded.Bits > int64(2.8*float64(n))+64 {
+		t.Errorf("elias %d bits exceeds 2.8n envelope", coded.Bits)
+	}
+	t.Logf("fixed=%d bits (%.2f/elem), elias=%d bits (%.2f/elem)",
+		fixed.Bits, float64(fixed.Bits)/float64(n), coded.Bits, float64(coded.Bits)/float64(n))
+}
+
+func TestQSGDEliasZeroVector(t *testing.T) {
+	e := NewQSGDElias(DefaultOptions(32))
+	p := e.Encode(make([]float32, 32))
+	dec := make([]float32, 32)
+	tensor.Fill(dec, 5)
+	e.Decode(p.Data, dec)
+	for _, v := range dec {
+		if v != 0 {
+			t.Fatal("zero vector must decode to zeros")
+		}
+	}
+}
+
+func TestQSGDEliasSyncApproximatesAverage(t *testing.T) {
+	p, n := 3, 3000
+	grads := make([][]float32, p)
+	for r := range grads {
+		grads[r] = randGrad(uint64(80+r), n)
+	}
+	want := denseAverage(grads)
+	out := runSync(t, p, func(rank int) Algorithm {
+		o := DefaultOptions(n)
+		o.Seed = uint64(rank + 1)
+		return NewQSGDElias(o)
+	}, grads)
+	var maxNorm float64
+	for _, g := range grads {
+		if nn := tensor.Norm2(g); nn > maxNorm {
+			maxNorm = nn
+		}
+	}
+	var rms float64
+	for i := range want {
+		d := float64(out[0][i] - want[i])
+		rms += d * d
+	}
+	rms = math.Sqrt(rms / float64(n))
+	if bound := maxNorm / 4 / math.Sqrt(float64(p)); rms > bound {
+		t.Errorf("rms %v > bound %v", rms, bound)
+	}
+	// All ranks agree.
+	for r := 1; r < p; r++ {
+		for i := range out[0] {
+			if out[r][i] != out[0][i] {
+				t.Fatalf("ranks disagree at %d", i)
+			}
+		}
+	}
+}
+
+func TestQSGDEliasMetadata(t *testing.T) {
+	e := NewQSGDElias(DefaultOptions(1000))
+	if e.Name() != "qsgd-elias" {
+		t.Error("name")
+	}
+	if e.ExchangeKind() != netsim.ExchangeAllgather {
+		t.Error("kind")
+	}
+	if e.PayloadBytes(1000) != (2800+32+7)/8 {
+		t.Errorf("payload bytes %d", e.PayloadBytes(1000))
+	}
+	e.Reset()
+}
+
+func TestQSGDEliasUnbiased(t *testing.T) {
+	n := 32
+	g := randGrad(90, n)
+	mean := make([]float64, n)
+	const trials = 2000
+	for tr := 0; tr < trials; tr++ {
+		o := DefaultOptions(n)
+		o.Seed = uint64(tr + 1)
+		e := NewQSGDElias(o)
+		p := e.Encode(g)
+		dec := make([]float32, n)
+		e.Decode(p.Data, dec)
+		for i := range mean {
+			mean[i] += float64(dec[i]) / trials
+		}
+	}
+	norm := tensor.Norm2(g)
+	for i := range g {
+		tol := 4*norm/4/math.Sqrt(trials) + 1e-4
+		if math.Abs(mean[i]-float64(g[i])) > tol {
+			t.Fatalf("elem %d: E=%v want %v", i, mean[i], g[i])
+		}
+	}
+}
+
+func TestQSGDEliasCorruptStreamFailsSafe(t *testing.T) {
+	// A stream of all-zero bits would loop in a naive gamma decoder; ours
+	// must bail out and decode zeros.
+	e := NewQSGDElias(DefaultOptions(8))
+	data := make([]float32, 4)
+	data[0] = 1                        // nonzero norm
+	data[1] = comm.Float32FromIndex(8) // claims 8 elements
+	dst := make([]float32, 8)          // words 2..3 are all-zero bits
+	e.Decode(data, dst)                // must terminate
+	_ = dst
+}

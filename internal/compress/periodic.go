@@ -1,0 +1,78 @@
+package compress
+
+import (
+	"fmt"
+
+	"a2sgd/internal/comm"
+	"a2sgd/internal/netsim"
+)
+
+// Periodic wraps any Algorithm with round reduction — the "reducing the
+// rounds of communication" family the paper's introduction cites ([13–15])
+// and names as composable with A2SGD in its conclusion. Workers synchronize
+// only every Interval-th step; on the other steps the local gradient is
+// applied directly (local-SGD style) and a zero-byte payload is reported.
+//
+// Semantics per step s (0-based):
+//
+//	s % Interval != Interval-1 : g is left untouched (pure local update)
+//	s % Interval == Interval-1 : the inner algorithm synchronizes g
+//
+// With Interval = 1 the wrapper is exactly the inner algorithm. The traffic
+// reported over a window is the inner payload divided by Interval.
+type Periodic struct {
+	inner    Algorithm
+	interval int
+	step     int
+}
+
+// NewPeriodic wraps inner, synchronizing every interval steps (≥ 1).
+func NewPeriodic(inner Algorithm, interval int) *Periodic {
+	if interval < 1 {
+		panic("compress: periodic interval must be ≥ 1")
+	}
+	return &Periodic{inner: inner, interval: interval}
+}
+
+// Name implements Algorithm.
+func (p *Periodic) Name() string {
+	return fmt.Sprintf("%s-every%d", p.inner.Name(), p.interval)
+}
+
+// Interval exposes the synchronization period.
+func (p *Periodic) Interval() int { return p.interval }
+
+// syncing reports whether the *current* step (the one whose Encode is next
+// or in flight) is a synchronization step.
+func (p *Periodic) syncing() bool { return p.step%p.interval == p.interval-1 }
+
+// Encode implements Algorithm: pass-through on sync steps, empty otherwise.
+func (p *Periodic) Encode(g []float32) Payload {
+	if p.syncing() {
+		return p.inner.Encode(g)
+	}
+	return Payload{Bits: 0}
+}
+
+// Exchange implements Algorithm.
+func (p *Periodic) Exchange(pl Payload, g []float32, c *comm.Communicator) error {
+	defer func() { p.step++ }()
+	if p.syncing() {
+		return p.inner.Exchange(pl, g, c)
+	}
+	return nil // local step: g already holds the local gradient
+}
+
+// ExchangeKind implements Algorithm (the inner collective when it happens).
+func (p *Periodic) ExchangeKind() netsim.ExchangeKind { return p.inner.ExchangeKind() }
+
+// PayloadBytes implements Algorithm: the amortized per-step payload.
+func (p *Periodic) PayloadBytes(n int) int64 {
+	return p.inner.PayloadBytes(n) / int64(p.interval)
+}
+
+// Reset implements Algorithm.
+func (p *Periodic) Reset() {
+	p.step = 0
+	p.inner.Reset()
+}

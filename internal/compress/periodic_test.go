@@ -1,0 +1,130 @@
+package compress
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"a2sgd/internal/comm"
+)
+
+func TestPeriodicIntervalOneIsTransparent(t *testing.T) {
+	n := 100
+	p1 := NewPeriodic(NewDense(DefaultOptions(n)), 1)
+	grads := [][]float32{randGrad(1, n), randGrad(2, n)}
+	want := denseAverage(grads)
+	out := runSync(t, 2, func(int) Algorithm {
+		return NewPeriodic(NewDense(DefaultOptions(n)), 1)
+	}, grads)
+	for r := range out {
+		for i := range want {
+			if math.Abs(float64(out[r][i]-want[i])) > 1e-5 {
+				t.Fatalf("interval-1 differs at %d", i)
+			}
+		}
+	}
+	if p1.Name() != "dense-every1" {
+		t.Error("name")
+	}
+}
+
+func TestPeriodicSkipsAndSyncs(t *testing.T) {
+	n := 16
+	p := 2
+	grads := [][]float32{randGrad(5, n), randGrad(6, n)}
+	want := denseAverage(grads)
+	// Interval 3: steps 0,1 local; step 2 syncs.
+	results := make([][3][]float32, p)
+	err := comm.RunGroup(p, func(c *comm.Communicator) error {
+		alg := NewPeriodic(NewDense(DefaultOptions(n)), 3)
+		var mu sync.Mutex
+		for s := 0; s < 3; s++ {
+			g := append([]float32(nil), grads[c.Rank()]...)
+			if _, err := Sync(alg, g, c); err != nil {
+				return err
+			}
+			mu.Lock()
+			results[c.Rank()][s] = g
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		// Steps 0 and 1: local gradient untouched.
+		for s := 0; s < 2; s++ {
+			for i := range grads[r] {
+				if results[r][s][i] != grads[r][i] {
+					t.Fatalf("rank %d step %d: local step modified gradient", r, s)
+				}
+			}
+		}
+		// Step 2: dense average.
+		for i := range want {
+			if math.Abs(float64(results[r][2][i]-want[i])) > 1e-5 {
+				t.Fatalf("rank %d sync step wrong at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestPeriodicTrafficAmortized(t *testing.T) {
+	n := 1000
+	inner := NewDense(DefaultOptions(n))
+	p := NewPeriodic(inner, 4)
+	if p.PayloadBytes(n) != inner.PayloadBytes(n)/4 {
+		t.Errorf("amortized payload %d", p.PayloadBytes(n))
+	}
+	if p.Interval() != 4 {
+		t.Error("interval")
+	}
+	// Non-sync encodes are free.
+	pl := p.Encode(make([]float32, n))
+	if pl.Bits != 0 {
+		t.Errorf("local-step payload bits %d", pl.Bits)
+	}
+	// Measured traffic over 8 steps with 2 workers: exactly 2 syncs.
+	var syncBytes int64
+	err := comm.RunGroup(2, func(c *comm.Communicator) error {
+		alg := NewPeriodic(NewDense(DefaultOptions(n)), 4)
+		g := make([]float32, n)
+		for s := 0; s < 8; s++ {
+			if _, err := Sync(alg, g, c); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			syncBytes = c.Traffic().BytesSent
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense allreduce (p=2) sends n·4 bytes per sync; 2 syncs happened.
+	want := int64(2 * 4 * n)
+	if syncBytes != want {
+		t.Errorf("traffic %d, want %d", syncBytes, want)
+	}
+}
+
+func TestPeriodicReset(t *testing.T) {
+	p := NewPeriodic(NewTopK(DefaultOptions(100)), 2)
+	p.Encode(make([]float32, 100))
+	p.step = 5
+	p.Reset()
+	if p.step != 0 {
+		t.Error("reset step")
+	}
+}
+
+func TestPeriodicInvalidIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPeriodic(NewDense(DefaultOptions(10)), 0)
+}

@@ -1,0 +1,311 @@
+package compress
+
+import (
+	"a2sgd/internal/comm"
+	"a2sgd/internal/netsim"
+	"a2sgd/internal/stats"
+	"a2sgd/internal/tensor"
+)
+
+// sparsePayload packs k (index, value) pairs as interleaved float32 words:
+// [idx0 val0 idx1 val1 ...] with indices bit-cast. Actual wire size is 64k
+// bits; the paper's Table 2 accounts only the 32k value bits, which
+// PayloadBytes mirrors (documented in EXPERIMENTS.md).
+func sparsePayload(idx []int32, val []float32) Payload {
+	data := make([]float32, 0, 2*len(idx))
+	for i, ix := range idx {
+		data = append(data, comm.Float32FromIndex(uint32(ix)), val[i])
+	}
+	return Payload{Data: data, Bits: int64(32 * len(idx))}
+}
+
+// sparseExchange allgathers every worker's (index, value) pairs and
+// reconstructs the worker-averaged dense gradient in g. This is the
+// Allgather exchange path the paper credits for Gaussian-K's iteration-time
+// advantage on fast networks (§4.4).
+func sparseExchange(p Payload, g []float32, c *comm.Communicator) error {
+	all, _, err := c.AllgatherV(p.Data)
+	if err != nil {
+		return err
+	}
+	tensor.Zero(g)
+	inv := 1 / float32(c.Size())
+	for i := 0; i+1 < len(all); i += 2 {
+		ix := int(comm.Float32ToIndex(all[i]))
+		if ix >= 0 && ix < len(g) {
+			g[ix] += all[i+1] * inv
+		}
+	}
+	return nil
+}
+
+// errorFeedback is the residual memory shared by the sparsifiers: the
+// un-transmitted part of each gradient is accumulated and re-injected the
+// next step, the standard memory-compensation of Stich et al. (the paper's
+// reference [27]).
+type errorFeedback struct {
+	residual []float32
+	acc      []float32 // scratch: residual + g
+}
+
+func newErrorFeedback(n int) errorFeedback {
+	return errorFeedback{residual: make([]float32, n), acc: make([]float32, n)}
+}
+
+// accumulate forms acc = residual + g and returns it.
+func (e *errorFeedback) accumulate(g []float32) []float32 {
+	if len(g) != len(e.residual) {
+		panic("compress: gradient length changed between steps")
+	}
+	for i, r := range e.residual {
+		e.acc[i] = r + g[i]
+	}
+	return e.acc
+}
+
+// retain records the new residual: acc minus what was transmitted.
+// transmitted is given by the selected indices into acc.
+func (e *errorFeedback) retain(acc []float32, selected []int32) {
+	copy(e.residual, acc)
+	for _, ix := range selected {
+		e.residual[ix] = 0
+	}
+}
+
+func (e *errorFeedback) reset() {
+	tensor.Zero(e.residual)
+}
+
+// ---- Top-K ----
+
+// TopK transmits the k largest-magnitude entries of the error-compensated
+// gradient. Selection uses a max-heap built in O(n) followed by k pops of
+// O(log n) — the O(n + k log n) computation the paper's Table 2 lists.
+type TopK struct {
+	k  int
+	ef errorFeedback
+}
+
+// NewTopK builds a Top-K sparsifier from the options (k = Density·N).
+func NewTopK(o Options) *TopK {
+	o.validate()
+	return &TopK{k: o.K(), ef: newErrorFeedback(o.N)}
+}
+
+// Name implements Algorithm.
+func (t *TopK) Name() string { return "topk" }
+
+// K exposes the selection count (for reports).
+func (t *TopK) K() int { return t.k }
+
+// Encode selects the top-k entries of residual+g by magnitude.
+func (t *TopK) Encode(g []float32) Payload {
+	acc := t.ef.accumulate(g)
+	idx := topKIndices(acc, t.k)
+	val := make([]float32, len(idx))
+	for i, ix := range idx {
+		val[i] = acc[ix]
+	}
+	t.ef.retain(acc, idx)
+	return sparsePayload(idx, val)
+}
+
+// Exchange implements Algorithm via the sparse allgather.
+func (t *TopK) Exchange(p Payload, g []float32, c *comm.Communicator) error {
+	return sparseExchange(p, g, c)
+}
+
+// ExchangeKind implements Algorithm.
+func (t *TopK) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgather }
+
+// PayloadBytes implements Algorithm: 32k bits (paper accounting).
+func (t *TopK) PayloadBytes(n int) int64 { return int64(4 * t.k) }
+
+// Reset implements Algorithm.
+func (t *TopK) Reset() { t.ef.reset() }
+
+// topKIndices returns the indices of the k largest |v| entries using an
+// index max-heap: O(n) heapify + O(k log n) extraction.
+func topKIndices(v []float32, k int) []int32 {
+	n := len(v)
+	if k >= n {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	abs := func(i int32) float32 {
+		x := v[i]
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	heap := make([]int32, n)
+	for i := range heap {
+		heap[i] = int32(i)
+	}
+	siftDown := func(lo, hi int) {
+		root := lo
+		for {
+			child := 2*root + 1
+			if child >= hi {
+				break
+			}
+			if child+1 < hi && abs(heap[child+1]) > abs(heap[child]) {
+				child++
+			}
+			if abs(heap[child]) <= abs(heap[root]) {
+				break
+			}
+			heap[root], heap[child] = heap[child], heap[root]
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n)
+	}
+	out := make([]int32, 0, k)
+	hi := n
+	for len(out) < k {
+		out = append(out, heap[0])
+		hi--
+		heap[0] = heap[hi]
+		siftDown(0, hi)
+	}
+	return out
+}
+
+// ---- Gaussian-K ----
+
+// GaussianK (Shi et al., the paper's reference [25]) avoids Top-K's heap by
+// assuming gradient values are Gaussian: it fits N(µ, σ²) in one pass and
+// derives a magnitude threshold whose expected exceedance count is k, then
+// transmits every entry above the threshold. The selected count varies
+// around k, which is why the exchange is an AllgatherV.
+type GaussianK struct {
+	k  int
+	n  int
+	ef errorFeedback
+}
+
+// NewGaussianK builds a Gaussian-K sparsifier from the options.
+func NewGaussianK(o Options) *GaussianK {
+	o.validate()
+	return &GaussianK{k: o.K(), n: o.N, ef: newErrorFeedback(o.N)}
+}
+
+// Name implements Algorithm.
+func (gk *GaussianK) Name() string { return "gaussiank" }
+
+// Encode estimates the Gaussian threshold and selects entries above it.
+func (gk *GaussianK) Encode(g []float32) Payload {
+	acc := gk.ef.accumulate(g)
+	fit := stats.FitGaussian(acc)
+	tau := fit.TailThreshold(float64(gk.k) / float64(gk.n))
+	var idx []int32
+	var val []float32
+	for i, x := range acc {
+		d := float64(x) - fit.Mu
+		if d < 0 {
+			d = -d
+		}
+		if d > tau {
+			idx = append(idx, int32(i))
+			val = append(val, x)
+		}
+	}
+	// Degenerate safety net: a constant gradient has σ=0 and selects
+	// nothing; fall back to transmitting the single largest entry so the
+	// method always makes progress.
+	if len(idx) == 0 && len(acc) > 0 {
+		best := int32(0)
+		for i := 1; i < len(acc); i++ {
+			a, b := acc[i], acc[best]
+			if a < 0 {
+				a = -a
+			}
+			if b < 0 {
+				b = -b
+			}
+			if a > b {
+				best = int32(i)
+			}
+		}
+		idx = []int32{best}
+		val = []float32{acc[best]}
+	}
+	gk.ef.retain(acc, idx)
+	return sparsePayload(idx, val)
+}
+
+// Exchange implements Algorithm via the sparse allgather.
+func (gk *GaussianK) Exchange(p Payload, g []float32, c *comm.Communicator) error {
+	return sparseExchange(p, g, c)
+}
+
+// ExchangeKind implements Algorithm.
+func (gk *GaussianK) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgather }
+
+// PayloadBytes implements Algorithm: 32k bits expected (paper accounting).
+func (gk *GaussianK) PayloadBytes(n int) int64 { return int64(4 * gk.k) }
+
+// Reset implements Algorithm.
+func (gk *GaussianK) Reset() { gk.ef.reset() }
+
+// ---- Rand-K ----
+
+// RandK transmits k uniformly random coordinates with error feedback
+// (Stich et al., the paper's reference [27]). It is the cheapest sparsifier
+// computationally — O(k) selection — but converges slower for a fixed k.
+type RandK struct {
+	k   int
+	n   int
+	ef  errorFeedback
+	rng *tensor.RNG
+}
+
+// NewRandK builds a Rand-K sparsifier from the options.
+func NewRandK(o Options) *RandK {
+	o.validate()
+	return &RandK{k: o.K(), n: o.N, ef: newErrorFeedback(o.N), rng: tensor.NewRNG(o.Seed)}
+}
+
+// Name implements Algorithm.
+func (r *RandK) Name() string { return "randk" }
+
+// Encode samples k distinct coordinates (Floyd's algorithm).
+func (r *RandK) Encode(g []float32) Payload {
+	acc := r.ef.accumulate(g)
+	seen := make(map[int32]struct{}, r.k)
+	idx := make([]int32, 0, r.k)
+	for j := r.n - r.k; j < r.n; j++ {
+		t := int32(r.rng.Intn(j + 1))
+		if _, dup := seen[t]; dup {
+			t = int32(j)
+		}
+		seen[t] = struct{}{}
+		idx = append(idx, t)
+	}
+	val := make([]float32, len(idx))
+	for i, ix := range idx {
+		val[i] = acc[ix]
+	}
+	r.ef.retain(acc, idx)
+	return sparsePayload(idx, val)
+}
+
+// Exchange implements Algorithm via the sparse allgather.
+func (r *RandK) Exchange(p Payload, g []float32, c *comm.Communicator) error {
+	return sparseExchange(p, g, c)
+}
+
+// ExchangeKind implements Algorithm.
+func (r *RandK) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgather }
+
+// PayloadBytes implements Algorithm.
+func (r *RandK) PayloadBytes(n int) int64 { return int64(4 * r.k) }
+
+// Reset implements Algorithm.
+func (r *RandK) Reset() { r.ef.reset() }

@@ -1,0 +1,260 @@
+// Package core implements A2SGD — two-level gradient averaging — the
+// contribution of "O(1) Communication for Distributed SGD through Two-Level
+// Gradient Averaging" (Bhattacharya, Yu, Chowdhury; CLUSTER 2021).
+//
+// Per iteration, each worker reduces its n-element gradient to two scalars —
+// the absolute mean of the non-negative entries (µ+) and the absolute mean
+// of the negative entries (µ−) — allreduce-averages just those two values
+// (64 bits per worker, O(1) communication), and reconstructs its update from
+// the global means plus a locally retained error vector:
+//
+//	µ+  = E[v_i | v_i ≥ 0]            µ− = E[|v_i| | v_i < 0]
+//	enc(g) = pos(g)·µ+ − neg(g)·µ−                      (Eq. 2)
+//	ε  = g − enc(g)                                     (Alg. 1 line 4)
+//	(µ̄+, µ̄−) = Allreduce((µ+, µ−), average)             (Alg. 1 line 5)
+//	g' = ε + pos(g)·µ̄+ − neg(g)·µ̄−                      (Alg. 1 line 6)
+//
+// Because ε is re-applied in the same iteration, the update is exactly
+// g + ∇µ with ∇µ = µ̄ − enc(g): the per-coordinate variance of the gradient
+// is retained (no variance blow-up), which is what Theorem 1's convergence
+// proof relies on.
+package core
+
+import (
+	"a2sgd/internal/comm"
+	"a2sgd/internal/compress"
+	"a2sgd/internal/netsim"
+	"a2sgd/internal/tensor"
+)
+
+// Stats holds the two-level statistics of one gradient.
+type Stats struct {
+	// MuPos is the absolute mean of the non-negative entries (0 if none).
+	MuPos float32
+	// MuNeg is the absolute mean of the negative entries (0 if none).
+	MuNeg float32
+	// NPos is the count of non-negative entries.
+	NPos int
+}
+
+// Measure computes the two-level statistics of g in one parallel pass —
+// the O(n) computation the paper's Table 2 lists for A2SGD.
+func Measure(g []float32) Stats {
+	mp, mn, np := tensor.ParSignedMeans(g)
+	return Stats{MuPos: mp, MuNeg: mn, NPos: np}
+}
+
+// Enc applies the paper's enc operator (Eq. 2) in place of dst:
+// dst[i] = µ+ where g[i] ≥ 0, −µ− where g[i] < 0. g and dst may alias.
+func Enc(dst, g []float32, s Stats) {
+	if len(dst) != len(g) {
+		panic("core: Enc length mismatch")
+	}
+	for i, x := range g {
+		if x >= 0 {
+			dst[i] = s.MuPos
+		} else {
+			dst[i] = -s.MuNeg
+		}
+	}
+}
+
+// Mode selects between the two mathematically identical implementations.
+type Mode int
+
+// Implementation modes.
+const (
+	// Faithful materializes the error vector ε exactly as Algorithm 1 is
+	// written: ε = g − enc(g), then g' = ε + pos·µ̄+ − neg·µ̄−. Costs one
+	// n-element buffer and two passes.
+	Faithful Mode = iota
+	// Fused folds the algebra into one pass without an error buffer:
+	// g' = g + pos·(µ̄+ − µ+) − neg·(µ̄− − µ−). Bit-for-bit reordering of
+	// the same float operations is not guaranteed, but the results agree
+	// to rounding; the equivalence test pins the tolerance.
+	Fused
+)
+
+// A2SGD is the two-level gradient averaging algorithm. It implements
+// compress.Algorithm so the distributed runtime treats it uniformly with
+// the baselines. One instance per worker.
+type A2SGD struct {
+	mode      Mode
+	algo      comm.AllreduceAlgorithm
+	ef        bool // error feedback on (the paper's algorithm) or off (ablation)
+	oneMean   bool // ablation: collapse to a single signed mean
+	allgather bool // §4.4 future work: allgather-based mean exchange
+	errorVec  []float32
+	stats     Stats
+}
+
+// Option configures an A2SGD instance.
+type Option func(*A2SGD)
+
+// WithMode selects Faithful (default) or Fused execution.
+func WithMode(m Mode) Option { return func(a *A2SGD) { a.mode = m } }
+
+// WithAllreduce selects the scalar allreduce algorithm.
+func WithAllreduce(alg comm.AllreduceAlgorithm) Option {
+	return func(a *A2SGD) { a.algo = alg }
+}
+
+// WithoutErrorFeedback disables the local error vector (ablation §6 of
+// DESIGN.md): the update becomes enc-only, g' = pos·µ̄+ − neg·µ̄−. The paper
+// predicts this distorts gradients and slows convergence.
+func WithoutErrorFeedback() Option { return func(a *A2SGD) { a.ef = false } }
+
+// WithOneMean collapses the two-level scheme to a single mean of all
+// entries (ablation): the paper argues this "over-simplification" is why
+// two signed means are needed.
+func WithOneMean() Option { return func(a *A2SGD) { a.oneMean = true } }
+
+// WithAllgather switches the two-scalar exchange from Allreduce to an
+// Allgather of every worker's (µ+, µ−) pair followed by local averaging —
+// the optimization the paper's §4.4 announces as planned future work after
+// observing Gaussian-K's Allgather advantage on fast networks. The result
+// is numerically identical; only the collective differs.
+func WithAllgather() Option { return func(a *A2SGD) { a.allgather = true } }
+
+// New builds an A2SGD synchronizer for n-parameter gradients.
+func New(n int, opts ...Option) *A2SGD {
+	if n <= 0 {
+		panic("core: non-positive parameter count")
+	}
+	a := &A2SGD{mode: Faithful, algo: comm.AlgoRecursiveDoubling, ef: true}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.mode == Faithful {
+		a.errorVec = make([]float32, n)
+	}
+	return a
+}
+
+// NewFromOptions adapts the shared compress.Options (used by the registry).
+func NewFromOptions(o compress.Options) *A2SGD {
+	return New(o.N, WithAllreduce(o.Allreduce))
+}
+
+// Name implements compress.Algorithm.
+func (a *A2SGD) Name() string {
+	switch {
+	case a.oneMean:
+		return "a2sgd-onemean"
+	case !a.ef:
+		return "a2sgd-noef"
+	case a.allgather:
+		return "a2sgd-allgather"
+	default:
+		return "a2sgd"
+	}
+}
+
+// Stats returns the statistics captured by the last Encode.
+func (a *A2SGD) Stats() Stats { return a.stats }
+
+// Encode computes the two local means (Alg. 1 line 3) and, in Faithful
+// mode, materializes the error vector (line 4). The payload is exactly two
+// float32 values — 64 bits.
+func (a *A2SGD) Encode(g []float32) compress.Payload {
+	s := Measure(g)
+	if a.oneMean {
+		// Single signed mean over all entries. Encoding it as µ+ = m and
+		// µ− = −m makes pos·µ+ − neg·µ− equal m at every coordinate, so
+		// the downstream reconstruction code is shared with the two-level
+		// scheme.
+		m := float32(tensor.Sum(g) / float64(len(g)))
+		s = Stats{MuPos: m, MuNeg: -m, NPos: len(g)}
+	}
+	a.stats = s
+	if a.mode == Faithful && a.ef {
+		if len(a.errorVec) != len(g) {
+			a.errorVec = make([]float32, len(g))
+		}
+		// ε = g − enc(g)
+		for i, x := range g {
+			if x >= 0 {
+				a.errorVec[i] = x - s.MuPos
+			} else {
+				a.errorVec[i] = x + s.MuNeg
+			}
+		}
+	}
+	return compress.Payload{Data: []float32{s.MuPos, s.MuNeg}, Bits: 64}
+}
+
+// Exchange allreduce-averages the two means (Alg. 1 line 5) and rebuilds
+// the synchronized gradient in g (line 6).
+func (a *A2SGD) Exchange(p compress.Payload, g []float32, c *comm.Communicator) error {
+	mu := []float32{p.Data[0], p.Data[1]}
+	if a.allgather {
+		all := make([]float32, 2*c.Size())
+		if err := c.Allgather(mu, all); err != nil {
+			return err
+		}
+		var sp, sn float64
+		for r := 0; r < c.Size(); r++ {
+			sp += float64(all[2*r])
+			sn += float64(all[2*r+1])
+		}
+		mu[0] = float32(sp / float64(c.Size()))
+		mu[1] = float32(sn / float64(c.Size()))
+	} else if err := c.AllreduceMean(mu, a.algo); err != nil {
+		return err
+	}
+	gPos, gNeg := mu[0], mu[1]
+	switch {
+	case !a.ef:
+		// Ablation: enc-only reconstruction.
+		for i, x := range g {
+			if x >= 0 {
+				g[i] = gPos
+			} else {
+				g[i] = -gNeg
+			}
+		}
+	case a.mode == Faithful:
+		// g' = ε + pos·µ̄+ − neg·µ̄−
+		for i, x := range g {
+			if x >= 0 {
+				g[i] = a.errorVec[i] + gPos
+			} else {
+				g[i] = a.errorVec[i] - gNeg
+			}
+		}
+	default: // Fused
+		dPos := gPos - a.stats.MuPos
+		dNeg := gNeg - a.stats.MuNeg
+		for i, x := range g {
+			if x >= 0 {
+				g[i] = x + dPos
+			} else {
+				g[i] = x - dNeg
+			}
+		}
+	}
+	return nil
+}
+
+// ExchangeKind implements compress.Algorithm.
+func (a *A2SGD) ExchangeKind() netsim.ExchangeKind {
+	if a.allgather {
+		return netsim.ExchangeAllgather
+	}
+	return netsim.ExchangeAllreduce
+}
+
+// PayloadBytes implements compress.Algorithm: 64 bits, independent of n —
+// the O(1) headline of the paper.
+func (a *A2SGD) PayloadBytes(n int) int64 { return 8 }
+
+// Reset implements compress.Algorithm. A2SGD applies its error vector in
+// the same iteration, so there is no carried state to clear; the buffer is
+// zeroed anyway for hygiene.
+func (a *A2SGD) Reset() {
+	if a.errorVec != nil {
+		tensor.Zero(a.errorVec)
+	}
+}
+
+var _ compress.Algorithm = (*A2SGD)(nil)

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"a2sgd/internal/comm"
+	"a2sgd/internal/compress"
+	"a2sgd/internal/netsim"
+)
+
+// The §4.4 future-work variant: allgather-based mean exchange must produce
+// results equal to the allreduce version (it is the same average computed
+// locally) for every worker count.
+func TestAllgatherVariantMatchesAllreduce(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		n := 600
+		grads := make([][]float32, p)
+		for r := range grads {
+			grads[r] = randGrad(uint64(70+r), n)
+		}
+		run := func(opts ...Option) [][]float32 {
+			out := make([][]float32, p)
+			var mu sync.Mutex
+			err := comm.RunGroup(p, func(c *comm.Communicator) error {
+				g := append([]float32(nil), grads[c.Rank()]...)
+				a := New(n, opts...)
+				if _, err := compress.Sync(a, g, c); err != nil {
+					return err
+				}
+				mu.Lock()
+				out[c.Rank()] = g
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		viaReduce := run()
+		viaGather := run(WithAllgather())
+		for r := 0; r < p; r++ {
+			for i := 0; i < n; i++ {
+				d := math.Abs(float64(viaReduce[r][i] - viaGather[r][i]))
+				if d > 1e-5 {
+					t.Fatalf("p=%d rank %d elem %d: allreduce %v vs allgather %v",
+						p, r, i, viaReduce[r][i], viaGather[r][i])
+				}
+			}
+		}
+	}
+}
+
+func TestAllgatherVariantMetadata(t *testing.T) {
+	a := New(100, WithAllgather())
+	if a.Name() != "a2sgd-allgather" {
+		t.Errorf("name %q", a.Name())
+	}
+	if a.ExchangeKind() != netsim.ExchangeAllgather {
+		t.Error("exchange kind")
+	}
+	if a.PayloadBytes(100) != 8 {
+		t.Error("payload stays O(1)")
+	}
+}
+
+func TestAllgatherVariantTraffic(t *testing.T) {
+	// Allgather of 2 floats over 4 ranks (ring): 3 steps × 8 bytes.
+	p := 4
+	var sent int64
+	var mu sync.Mutex
+	err := comm.RunGroup(p, func(c *comm.Communicator) error {
+		a := New(64, WithAllgather())
+		g := randGrad(uint64(c.Rank()+1), 64)
+		if _, err := compress.Sync(a, g, c); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			sent = c.Traffic().BytesSent
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != 3*8 {
+		t.Errorf("sent %d bytes, want 24 (ring allgather of one 8-byte pair)", sent)
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+
+	"a2sgd/internal/comm"
+	"a2sgd/internal/compress"
+	"a2sgd/internal/tensor"
+)
+
+// This file provides the empirical counterpart of the paper's §3.2
+// convergence analysis: a distributed stochastic quadratic problem on which
+// Theorem 1's conditions hold by construction, so that tests can verify
+// P(lim w_t = w*) = 1 behaviour for A2SGD directly.
+//
+// The objective is C(w) = ½‖w − w*‖², which satisfies Assumption 1 (single
+// minimum, gradient points at w*). Worker p observes the stochastic
+// gradient g = (w − w*) + ξ with bounded noise ξ, satisfying the gradient
+// bound of Assumption 3. The learning-rate sequence η_t = η0/(1+t) satisfies
+// Assumption 2 (Ση = ∞, Ση² < ∞).
+
+// QuadraticSpec describes the synthetic convex problem.
+type QuadraticSpec struct {
+	// Dim is the parameter dimension n.
+	Dim int
+	// Workers is the data-parallel width.
+	Workers int
+	// Steps is the iteration budget T.
+	Steps int
+	// Eta0 is the initial learning rate (η_t = Eta0/(1+t)).
+	Eta0 float64
+	// NoiseStd is the per-worker gradient noise σ.
+	NoiseStd float32
+	// Seed fixes w*, w0 and the noise streams.
+	Seed uint64
+}
+
+// QuadraticResult reports the optimization trajectory.
+type QuadraticResult struct {
+	// InitialDist and FinalDist are h_0 and h_T — the squared distances
+	// ‖w − w*‖² of the paper's Lyapunov analysis (Eq. 5), worker-averaged.
+	InitialDist, FinalDist float64
+	// Dist[t] is the worker-averaged h_t per step.
+	Dist []float64
+}
+
+// RunQuadratic optimizes the quadratic with the given synchronization
+// algorithm (nil factory = dense baseline) and returns the h_t trajectory.
+// Tests use it to validate Theorem 1: for A2SGD the trajectory must contract
+// toward zero like dense SGD's.
+func RunQuadratic(spec QuadraticSpec, newAlg func(rank int) compress.Algorithm) (*QuadraticResult, error) {
+	if spec.Dim <= 0 || spec.Workers <= 0 || spec.Steps <= 0 {
+		panic("core: invalid QuadraticSpec")
+	}
+	if newAlg == nil {
+		newAlg = func(rank int) compress.Algorithm {
+			return compress.NewDense(compress.DefaultOptions(spec.Dim))
+		}
+	}
+	wStar := make([]float32, spec.Dim)
+	w0 := make([]float32, spec.Dim)
+	r := tensor.NewRNG(spec.Seed)
+	r.NormVec(wStar, 0, 1)
+	r.NormVec(w0, 0, 3)
+
+	res := &QuadraticResult{Dist: make([]float64, spec.Steps)}
+	distSums := make([]float64, spec.Steps)
+
+	err := comm.RunGroup(spec.Workers, func(c *comm.Communicator) error {
+		rank := c.Rank()
+		alg := newAlg(rank)
+		noise := tensor.NewRNG(spec.Seed*977 + uint64(rank) + 1)
+		w := append([]float32(nil), w0...)
+		g := make([]float32, spec.Dim)
+		local := make([]float64, spec.Steps)
+		for t := 0; t < spec.Steps; t++ {
+			// Stochastic gradient of ½‖w−w*‖²: (w − w*) + ξ.
+			for i := range g {
+				g[i] = w[i] - wStar[i] + spec.NoiseStd*noise.Norm()
+			}
+			if _, err := compress.Sync(alg, g, c); err != nil {
+				return err
+			}
+			eta := spec.Eta0 / float64(1+t)
+			for i := range w {
+				w[i] -= float32(eta) * g[i]
+			}
+			var h float64
+			for i := range w {
+				d := float64(w[i] - wStar[i])
+				h += d * d
+			}
+			local[t] = h
+		}
+		// Reduce h_t across workers (average) onto rank 0.
+		hv := make([]float32, spec.Steps)
+		for t, h := range local {
+			hv[t] = float32(h)
+		}
+		if err := c.Reduce(hv, 0); err != nil {
+			return err
+		}
+		if rank == 0 {
+			for t := range distSums {
+				distSums[t] = float64(hv[t]) / float64(spec.Workers)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	copy(res.Dist, distSums)
+	var h0 float64
+	for i := range w0 {
+		d := float64(w0[i] - wStar[i])
+		h0 += d * d
+	}
+	res.InitialDist = h0
+	res.FinalDist = distSums[spec.Steps-1]
+	return res, nil
+}
+
+// GradientBoundEstimate empirically checks Assumption 3 on a sample of
+// A2SGD updates: it returns the largest observed ratio
+// ‖g + ∇µ‖² / (1 + ‖w − w*‖²), which must be bounded (the constant
+// max(A, B) of Eq. 8) for the convergence theorem to apply.
+func GradientBoundEstimate(spec QuadraticSpec) (float64, error) {
+	wStar := make([]float32, spec.Dim)
+	r := tensor.NewRNG(spec.Seed)
+	r.NormVec(wStar, 0, 1)
+	maxRatio := 0.0
+	err := comm.RunGroup(spec.Workers, func(c *comm.Communicator) error {
+		noise := tensor.NewRNG(spec.Seed*31 + uint64(c.Rank()))
+		a := New(spec.Dim)
+		w := make([]float32, spec.Dim)
+		g := make([]float32, spec.Dim)
+		localMax := 0.0
+		for t := 0; t < spec.Steps; t++ {
+			noise.NormVec(w, 0, float32(1+t%5))
+			var h float64
+			for i := range g {
+				g[i] = w[i] - wStar[i] + spec.NoiseStd*noise.Norm()
+				d := float64(w[i] - wStar[i])
+				h += d * d
+			}
+			if _, err := compress.Sync(a, g, c); err != nil {
+				return err
+			}
+			// After Sync, g holds g + ∇µ (the Theorem 1 update direction).
+			norm := tensor.Norm2(g)
+			ratio := norm * norm / (1 + h)
+			if ratio > localMax {
+				localMax = ratio
+			}
+		}
+		v := []float32{float32(localMax)}
+		if err := c.Reduce(v, 0); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			maxRatio = math.Max(maxRatio, float64(v[0]))
+		}
+		return nil
+	})
+	return maxRatio, err
+}

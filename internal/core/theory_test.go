@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"a2sgd/internal/compress"
+)
+
+func quadSpec() QuadraticSpec {
+	return QuadraticSpec{
+		Dim: 64, Workers: 4, Steps: 400,
+		Eta0: 0.8, NoiseStd: 0.5, Seed: 13,
+	}
+}
+
+// Theorem 1: under Assumptions 1–3 (satisfied by construction here), A2SGD
+// converges toward w* — the Lyapunov distance h_t must contract by orders
+// of magnitude, matching the dense baseline.
+func TestTheorem1QuadraticConvergence(t *testing.T) {
+	spec := quadSpec()
+	a2, err := RunQuadratic(spec, func(rank int) compress.Algorithm {
+		return New(spec.Dim)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := RunQuadratic(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.FinalDist > a2.InitialDist*0.01 {
+		t.Errorf("A2SGD did not contract: h0=%v hT=%v", a2.InitialDist, a2.FinalDist)
+	}
+	// A2SGD must land within an order of magnitude of dense SGD (their
+	// noise floors differ only through the mean-correction term).
+	if a2.FinalDist > dense.FinalDist*10+0.5 {
+		t.Errorf("A2SGD hT=%v vs dense hT=%v", a2.FinalDist, dense.FinalDist)
+	}
+}
+
+// The trajectory must trend downward (allowing stochastic wiggle): compare
+// means of the first and last quarters.
+func TestTheorem1MonotoneTrend(t *testing.T) {
+	spec := quadSpec()
+	res, err := RunQuadratic(spec, func(rank int) compress.Algorithm {
+		return New(spec.Dim)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := len(res.Dist) / 4
+	var early, late float64
+	for i := 0; i < q; i++ {
+		early += res.Dist[i]
+		late += res.Dist[len(res.Dist)-1-i]
+	}
+	if !(late < early*0.1) {
+		t.Errorf("no clear contraction: early avg %v late avg %v", early/float64(q), late/float64(q))
+	}
+}
+
+// Ablation: without error feedback the enc-only update destroys coordinate
+// information; convergence must be visibly worse than full A2SGD.
+func TestTheorem1ErrorFeedbackMatters(t *testing.T) {
+	spec := quadSpec()
+	full, err := RunQuadratic(spec, func(rank int) compress.Algorithm {
+		return New(spec.Dim)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noEF, err := RunQuadratic(spec, func(rank int) compress.Algorithm {
+		return New(spec.Dim, WithoutErrorFeedback())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(full.FinalDist < noEF.FinalDist) {
+		t.Errorf("EF should help: with=%v without=%v", full.FinalDist, noEF.FinalDist)
+	}
+}
+
+// Assumption 3: the observed update-norm ratio must be bounded by a modest
+// constant for gradients of the quadratic problem.
+func TestAssumption3GradientBound(t *testing.T) {
+	spec := quadSpec()
+	spec.Steps = 100
+	ratio, err := GradientBoundEstimate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 0 {
+		t.Fatalf("ratio %v", ratio)
+	}
+	// ‖g+∇µ‖² ≈ ‖w−w*‖² + n·σ² + mean-shift terms; with n=64, σ=0.5 the
+	// ratio must stay well under a loose constant.
+	if ratio > 200 {
+		t.Errorf("gradient bound ratio %v suspiciously large", ratio)
+	}
+}
+
+func TestRunQuadraticValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid spec")
+		}
+	}()
+	_, _ = RunQuadratic(QuadraticSpec{}, nil)
+}

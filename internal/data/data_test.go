@@ -1,0 +1,199 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"a2sgd/internal/nn"
+	"a2sgd/internal/tensor"
+)
+
+func TestImagesMNISTLikeSeparable(t *testing.T) {
+	d := NewImages(MNISTLike, nn.Shape{C: 1, H: 8, W: 8}, 10, 0.3, 7)
+	rng := tensor.NewRNG(1)
+	b := d.Sample(rng, 200)
+	if b.X.Rows != 200 || b.X.Cols != 64 || len(b.Labels) != 200 {
+		t.Fatalf("batch shape %dx%d labels %d", b.X.Rows, b.X.Cols, len(b.Labels))
+	}
+	// Nearest-prototype classification must beat chance by a wide margin —
+	// the clusters are the learnable structure.
+	correct := 0
+	for s := 0; s < b.X.Rows; s++ {
+		best, bi := math.Inf(1), -1
+		for c := 0; c < 10; c++ {
+			var dist float64
+			for i, v := range b.X.Row(s) {
+				dv := float64(v - d.protos[c][i])
+				dist += dv * dv
+			}
+			if dist < best {
+				best, bi = dist, c
+			}
+		}
+		if bi == b.Labels[s] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 200; acc < 0.95 {
+		t.Errorf("nearest-prototype accuracy %v, want ≥ 0.95", acc)
+	}
+}
+
+func TestImagesCIFARLikeClassesDiffer(t *testing.T) {
+	d := NewImages(CIFARLike, nn.Shape{C: 3, H: 16, W: 16}, 10, 0.1, 9)
+	rng := tensor.NewRNG(2)
+	// Mean absolute difference between class-0 and class-1 textures must be
+	// clearly above the noise floor.
+	a := make([]float32, d.Shape.Size())
+	b := make([]float32, d.Shape.Size())
+	d.fillSample(rng, 0, a)
+	d.fillSample(rng, 1, b)
+	var diff float64
+	for i := range a {
+		diff += math.Abs(float64(a[i] - b[i]))
+	}
+	diff /= float64(len(a))
+	if diff < 0.3 {
+		t.Errorf("class textures too similar: %v", diff)
+	}
+}
+
+func TestImagesDeterministicTask(t *testing.T) {
+	// Two generators with the same seed must produce identical prototypes —
+	// all workers see the same task.
+	d1 := NewImages(MNISTLike, nn.Shape{C: 1, H: 4, W: 4}, 3, 0.5, 42)
+	d2 := NewImages(MNISTLike, nn.Shape{C: 1, H: 4, W: 4}, 3, 0.5, 42)
+	for c := range d1.protos {
+		for i := range d1.protos[c] {
+			if d1.protos[c][i] != d2.protos[c][i] {
+				t.Fatal("prototypes differ for equal seeds")
+			}
+		}
+	}
+	// EvalSet is deterministic.
+	e1 := d1.EvalSet(10, 5)
+	e2 := d2.EvalSet(10, 5)
+	for i := range e1.X.Data {
+		if e1.X.Data[i] != e2.X.Data[i] {
+			t.Fatal("EvalSet not deterministic")
+		}
+	}
+}
+
+func TestImagesInvalidClassCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewImages(MNISTLike, nn.Shape{C: 1, H: 2, W: 2}, 1, 0.1, 1)
+}
+
+func TestTextMarkovStructure(t *testing.T) {
+	tx := NewText(32, 11)
+	rng := tensor.NewRNG(3)
+	b := tx.Sample(rng, 50, 20)
+	if len(b.Tokens) != 50 || len(b.Tokens[0]) != 20 {
+		t.Fatalf("batch shape %dx%d", len(b.Tokens), len(b.Tokens[0]))
+	}
+	// The preferred successor must appear after its predecessor roughly
+	// PSucc of the time.
+	follows, total := 0, 0
+	for _, seq := range b.Tokens {
+		for i := 1; i < len(seq); i++ {
+			total++
+			if seq[i] == tx.succ[seq[i-1]] {
+				follows++
+			}
+		}
+	}
+	rate := float64(follows) / float64(total)
+	if rate < 0.55 || rate > 0.9 {
+		t.Errorf("successor rate %v, want ≈ %v", rate, tx.PSucc)
+	}
+	// Tokens stay in range.
+	for _, seq := range b.Tokens {
+		for _, tok := range seq {
+			if tok < 0 || tok >= 32 {
+				t.Fatalf("token %d out of range", tok)
+			}
+		}
+	}
+}
+
+func TestTextZipfHeadHeavy(t *testing.T) {
+	tx := NewText(64, 13)
+	rng := tensor.NewRNG(5)
+	counts := make([]int, 64)
+	b := tx.Sample(rng, 100, 30)
+	for _, seq := range b.Tokens {
+		for _, tok := range seq {
+			counts[tok]++
+		}
+	}
+	// Token 0 (Zipf rank 0) must be among the most frequent.
+	top := 0
+	for tok, c := range counts {
+		if c > counts[top] {
+			top = tok
+		}
+	}
+	if counts[0] < counts[top]/4 {
+		t.Errorf("token 0 count %d vs max %d — not head-heavy", counts[0], counts[top])
+	}
+}
+
+func TestTextEdgeCases(t *testing.T) {
+	tx := NewText(8, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("seqLen<2 should panic")
+			}
+		}()
+		tx.Sample(tensor.NewRNG(1), 1, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("tiny vocab should panic")
+			}
+		}()
+		NewText(2, 1)
+	}()
+	e1 := tx.EvalSet(4, 6, 9)
+	e2 := tx.EvalSet(4, 6, 9)
+	for b := range e1.Tokens {
+		for i := range e1.Tokens[b] {
+			if e1.Tokens[b][i] != e2.Tokens[b][i] {
+				t.Fatal("EvalSet not deterministic")
+			}
+		}
+	}
+}
+
+func TestForFamily(t *testing.T) {
+	for _, fam := range []string{"fnn3", "vgg16", "resnet20"} {
+		img, txt, err := ForFamily(fam, 1)
+		if err != nil || img == nil || txt != nil {
+			t.Errorf("%s: img=%v txt=%v err=%v", fam, img != nil, txt != nil, err)
+		}
+	}
+	img, txt, err := ForFamily("lstm", 1)
+	if err != nil || img != nil || txt == nil {
+		t.Errorf("lstm: img=%v txt=%v err=%v", img != nil, txt != nil, err)
+	}
+	if _, _, err := ForFamily("nope", 1); err == nil {
+		t.Error("unknown family should error")
+	}
+}
+
+func TestSin32Accuracy(t *testing.T) {
+	for x := -20.0; x <= 20.0; x += 0.37 {
+		got := float64(sin32(float32(x)))
+		want := math.Sin(x)
+		if math.Abs(got-want) > 5e-3 {
+			t.Fatalf("sin32(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package netsim models the wall-clock cost of collective communication on
+// a parameterized network fabric using the classic α–β (latency–bandwidth)
+// model: sending an m-byte message costs α + m·β seconds.
+//
+// The paper's testbed is 16 nodes on 100 Gbps InfiniBand; this repository
+// cannot reproduce that hardware, so the benchmark harness instead feeds the
+// *actual byte counts* produced by the collective implementations (package
+// a2sgd/internal/comm) into this model. The per-collective time laws below
+// are the standard ones (Thakur, Rabenseifner & Gropp, IJHPCA 2005 — the
+// paper's reference [46]) and therefore reproduce exactly the dependency the
+// paper's Figures 4–5 measure: how iteration time scales with message volume,
+// worker count and the choice of allreduce vs allgather.
+package netsim
+
+import "math"
+
+// Fabric describes a network by its α–β parameters.
+type Fabric struct {
+	// Name identifies the profile in reports.
+	Name string
+	// Alpha is the per-message latency in seconds.
+	Alpha float64
+	// Beta is the per-byte transfer time in seconds (1 / bandwidth).
+	Beta float64
+}
+
+// IB100 approximates the paper's testbed: 100 Gbps InfiniBand with ~1.5 µs
+// MPI-level latency.
+func IB100() Fabric {
+	return Fabric{Name: "ib100", Alpha: 1.5e-6, Beta: 8.0e-11} // 12.5 GB/s
+}
+
+// TCP10G approximates a commodity 10 Gbps Ethernet cluster (for the
+// "slower network" sensitivity analysis in EXPERIMENTS.md).
+func TCP10G() Fabric {
+	return Fabric{Name: "tcp10g", Alpha: 2.0e-5, Beta: 8.0e-10} // 1.25 GB/s
+}
+
+// PointToPoint returns the cost of one m-byte message.
+func (f Fabric) PointToPoint(mBytes int64) float64 {
+	return f.Alpha + float64(mBytes)*f.Beta
+}
+
+// RingAllreduce returns the cost of a ring allreduce of an n-byte vector
+// across p workers: 2(p−1) steps each moving n/p bytes.
+func (f Fabric) RingAllreduce(nBytes int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	steps := float64(2 * (p - 1))
+	seg := float64(nBytes) / float64(p)
+	return steps * (f.Alpha + seg*f.Beta)
+}
+
+// RecDoublingAllreduce returns the cost of recursive-doubling allreduce:
+// ⌈log2 p⌉ steps each moving the full n bytes (plus the non-power-of-two
+// fold, one extra exchange).
+func (f Fabric) RecDoublingAllreduce(nBytes int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(p)))
+	t := rounds * (f.Alpha + float64(nBytes)*f.Beta)
+	if p&(p-1) != 0 { // fold + unfold for non-power-of-two
+		t += 2 * (f.Alpha + float64(nBytes)*f.Beta)
+	}
+	return t
+}
+
+// Allreduce returns the better (smaller) of the two allreduce laws — what
+// a tuned MPI library would pick, and what comm.AlgoAuto approximates.
+func (f Fabric) Allreduce(nBytes int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Min(f.RingAllreduce(nBytes, p), f.RecDoublingAllreduce(nBytes, p))
+}
+
+// Allgather returns the cost of a ring allgather where each worker
+// contributes nBytes: p−1 steps each moving nBytes.
+func (f Fabric) Allgather(nBytes int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1) * (f.Alpha + float64(nBytes)*f.Beta)
+}
+
+// Broadcast returns the cost of a binomial-tree broadcast of nBytes.
+func (f Fabric) Broadcast(nBytes int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p))) * (f.Alpha + float64(nBytes)*f.Beta)
+}
+
+// ExchangeKind tells the model which collective a gradient-synchronization
+// algorithm uses, matching §4.4's Allreduce-vs-Allgather discussion.
+type ExchangeKind int
+
+// Exchange kinds used by the gradient synchronization algorithms.
+const (
+	// ExchangeAllreduce: dense SGD, QSGD (dequantized reduce) and A2SGD.
+	ExchangeAllreduce ExchangeKind = iota
+	// ExchangeAllgather: Top-K and Gaussian-K sparse value/index exchange.
+	ExchangeAllgather
+)
+
+// SyncTime returns the modelled synchronization time for one training step
+// in which each worker contributes bytesPerWorker to the given exchange.
+func (f Fabric) SyncTime(kind ExchangeKind, bytesPerWorker int64, p int) float64 {
+	switch kind {
+	case ExchangeAllgather:
+		return f.Allgather(bytesPerWorker, p)
+	default:
+		return f.Allreduce(bytesPerWorker, p)
+	}
+}

@@ -1,0 +1,429 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"a2sgd/internal/tensor"
+)
+
+// Shape describes a (channels, height, width) activation volume flattened
+// row-major into each matrix row.
+type Shape struct {
+	C, H, W int
+}
+
+// Size returns C·H·W.
+func (s Shape) Size() int { return s.C * s.H * s.W }
+
+// Conv2D is a 2-D convolution implemented with im2col + matrix multiply —
+// the textbook GPU-style lowering. Stride and zero-padding are configurable;
+// the VGG/ResNet builders use 3×3, stride 1, pad 1.
+type Conv2D struct {
+	In          Shape
+	OutC        int
+	KH, KW      int
+	Stride, Pad int
+
+	W, B   []float32 // W is (OutC, In.C·KH·KW) row-major
+	GW, GB []float32
+
+	x    *tensor.Mat // cached input
+	cols []*tensor.Mat
+}
+
+// NewConv2D builds a convolution layer with He initialization.
+func NewConv2D(rng *tensor.RNG, in Shape, outC, k, stride, pad int) *Conv2D {
+	c := &Conv2D{In: in, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad}
+	fanIn := in.C * k * k
+	c.W = make([]float32, outC*fanIn)
+	c.B = make([]float32, outC)
+	c.GW = make([]float32, len(c.W))
+	c.GB = make([]float32, outC)
+	InitHe(rng, c.W, fanIn)
+	return c
+}
+
+// OutShape returns the output volume shape.
+func (c *Conv2D) OutShape() Shape {
+	oh := (c.In.H+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (c.In.W+2*c.Pad-c.KW)/c.Stride + 1
+	return Shape{C: c.OutC, H: oh, W: ow}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%dx%dx%d→%d,k%d,s%d)", c.In.C, c.In.H, c.In.W, c.OutC, c.KH, c.Stride)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []Param {
+	return []Param{{Name: c.Name() + ".W", W: c.W, G: c.GW}, {Name: c.Name() + ".b", W: c.B, G: c.GB}}
+}
+
+// im2col lowers one sample (flattened C×H×W) into a (C·KH·KW, oh·ow) matrix.
+func (c *Conv2D) im2col(sample []float32) *tensor.Mat {
+	out := c.OutShape()
+	rows := c.In.C * c.KH * c.KW
+	cols := tensor.NewMat(rows, out.H*out.W)
+	for ch := 0; ch < c.In.C; ch++ {
+		chBase := ch * c.In.H * c.In.W
+		for ky := 0; ky < c.KH; ky++ {
+			for kx := 0; kx < c.KW; kx++ {
+				row := (ch*c.KH+ky)*c.KW + kx
+				dst := cols.Row(row)
+				i := 0
+				for oy := 0; oy < out.H; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					for ox := 0; ox < out.W; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if iy >= 0 && iy < c.In.H && ix >= 0 && ix < c.In.W {
+							dst[i] = sample[chBase+iy*c.In.W+ix]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// col2im scatters a (C·KH·KW, oh·ow) gradient back onto one input sample.
+func (c *Conv2D) col2im(cols *tensor.Mat, sample []float32) {
+	out := c.OutShape()
+	for ch := 0; ch < c.In.C; ch++ {
+		chBase := ch * c.In.H * c.In.W
+		for ky := 0; ky < c.KH; ky++ {
+			for kx := 0; kx < c.KW; kx++ {
+				row := (ch*c.KH+ky)*c.KW + kx
+				src := cols.Row(row)
+				i := 0
+				for oy := 0; oy < out.H; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					for ox := 0; ox < out.W; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if iy >= 0 && iy < c.In.H && ix >= 0 && ix < c.In.W {
+							sample[chBase+iy*c.In.W+ix] += src[i]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if x.Cols != c.In.Size() {
+		panic(fmt.Sprintf("nn: %s got %d features, want %d", c.Name(), x.Cols, c.In.Size()))
+	}
+	out := c.OutShape()
+	res := tensor.NewMat(x.Rows, out.Size())
+	wm := tensor.MatFrom(c.OutC, c.In.C*c.KH*c.KW, c.W)
+	if train {
+		c.x = x
+		c.cols = make([]*tensor.Mat, x.Rows)
+	}
+	tensor.ParallelFor(x.Rows, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			cols := c.im2col(x.Row(s))
+			if train {
+				c.cols[s] = cols
+			}
+			o := tensor.MatFrom(c.OutC, out.H*out.W, res.Row(s))
+			tensor.MatMul(o, wm, cols)
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.B[oc]
+				orow := o.Row(oc)
+				for i := range orow {
+					orow[i] += b
+				}
+			}
+		}
+	})
+	return res
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Mat) *tensor.Mat {
+	out := c.OutShape()
+	dx := tensor.NewMat(c.x.Rows, c.In.Size())
+	wm := tensor.MatFrom(c.OutC, c.In.C*c.KH*c.KW, c.W)
+	gw := tensor.MatFrom(c.OutC, c.In.C*c.KH*c.KW, c.GW)
+	scratch := tensor.NewMat(c.OutC, c.In.C*c.KH*c.KW)
+	for s := 0; s < c.x.Rows; s++ {
+		do := tensor.MatFrom(c.OutC, out.H*out.W, dout.Row(s))
+		// dW += do × colsᵀ
+		tensor.MatMulABT(scratch, do, c.cols[s])
+		tensor.Add(gw.Data, scratch.Data)
+		// db += row sums of do
+		for oc := 0; oc < c.OutC; oc++ {
+			c.GB[oc] += float32(tensor.Sum(do.Row(oc)))
+		}
+		// dcols = Wᵀ × do, then scatter.
+		dcols := tensor.NewMat(c.In.C*c.KH*c.KW, out.H*out.W)
+		tensor.MatMulATB(dcols, wm, do)
+		c.col2im(dcols, dx.Row(s))
+	}
+	c.cols = nil // release the cached lowering
+	return dx
+}
+
+// MaxPool2D is a k×k max pool with stride k (non-overlapping).
+type MaxPool2D struct {
+	In   Shape
+	K    int
+	argm []int32
+}
+
+// NewMaxPool2D builds the pooling layer; In.H and In.W must be divisible by k.
+func NewMaxPool2D(in Shape, k int) *MaxPool2D {
+	if in.H%k != 0 || in.W%k != 0 {
+		panic(fmt.Sprintf("nn: maxpool %d does not divide %dx%d", k, in.H, in.W))
+	}
+	return &MaxPool2D{In: in, K: k}
+}
+
+// OutShape returns the pooled volume shape.
+func (m *MaxPool2D) OutShape() Shape {
+	return Shape{C: m.In.C, H: m.In.H / m.K, W: m.In.W / m.K}
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(k%d)", m.K) }
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []Param { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	out := m.OutShape()
+	res := tensor.NewMat(x.Rows, out.Size())
+	if train {
+		m.argm = make([]int32, x.Rows*out.Size())
+	}
+	for s := 0; s < x.Rows; s++ {
+		in := x.Row(s)
+		dst := res.Row(s)
+		for ch := 0; ch < m.In.C; ch++ {
+			chIn := ch * m.In.H * m.In.W
+			chOut := ch * out.H * out.W
+			for oy := 0; oy < out.H; oy++ {
+				for ox := 0; ox < out.W; ox++ {
+					best := float32(math.Inf(-1))
+					bi := 0
+					for ky := 0; ky < m.K; ky++ {
+						for kx := 0; kx < m.K; kx++ {
+							idx := chIn + (oy*m.K+ky)*m.In.W + ox*m.K + kx
+							if in[idx] > best {
+								best = in[idx]
+								bi = idx
+							}
+						}
+					}
+					o := chOut + oy*out.W + ox
+					dst[o] = best
+					if train {
+						m.argm[s*out.Size()+o] = int32(bi)
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(dout *tensor.Mat) *tensor.Mat {
+	out := m.OutShape()
+	dx := tensor.NewMat(dout.Rows, m.In.Size())
+	for s := 0; s < dout.Rows; s++ {
+		src := dout.Row(s)
+		dst := dx.Row(s)
+		for o, v := range src {
+			dst[m.argm[s*out.Size()+o]] += v
+		}
+	}
+	return dx
+}
+
+// GlobalAvgPool averages each channel over its spatial extent, producing C
+// features per sample (ResNet's final pooling).
+type GlobalAvgPool struct {
+	In Shape
+}
+
+// NewGlobalAvgPool builds the layer.
+func NewGlobalAvgPool(in Shape) *GlobalAvgPool { return &GlobalAvgPool{In: in} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return "GlobalAvgPool" }
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []Param { return nil }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	hw := g.In.H * g.In.W
+	res := tensor.NewMat(x.Rows, g.In.C)
+	for s := 0; s < x.Rows; s++ {
+		in := x.Row(s)
+		for ch := 0; ch < g.In.C; ch++ {
+			res.Set(s, ch, float32(tensor.Sum(in[ch*hw:(ch+1)*hw])/float64(hw)))
+		}
+	}
+	return res
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(dout *tensor.Mat) *tensor.Mat {
+	hw := g.In.H * g.In.W
+	dx := tensor.NewMat(dout.Rows, g.In.Size())
+	inv := 1 / float32(hw)
+	for s := 0; s < dout.Rows; s++ {
+		dst := dx.Row(s)
+		for ch := 0; ch < g.In.C; ch++ {
+			v := dout.At(s, ch) * inv
+			seg := dst[ch*hw : (ch+1)*hw]
+			for i := range seg {
+				seg[i] = v
+			}
+		}
+	}
+	return dx
+}
+
+// BatchNorm2D normalizes each channel over (batch, H, W) with learnable
+// scale γ and shift β, keeping running statistics for evaluation.
+type BatchNorm2D struct {
+	In       Shape
+	Eps      float32
+	Momentum float32
+
+	Gamma, Beta     []float32
+	GGamma, GBeta   []float32
+	RunMean, RunVar []float32
+
+	// backward caches
+	xhat   []float32
+	invStd []float32
+	rows   int
+}
+
+// NewBatchNorm2D builds a batch-norm layer over C channels.
+func NewBatchNorm2D(in Shape) *BatchNorm2D {
+	b := &BatchNorm2D{
+		In: in, Eps: 1e-5, Momentum: 0.9,
+		Gamma: make([]float32, in.C), Beta: make([]float32, in.C),
+		GGamma: make([]float32, in.C), GBeta: make([]float32, in.C),
+		RunMean: make([]float32, in.C), RunVar: make([]float32, in.C),
+	}
+	for i := range b.Gamma {
+		b.Gamma[i] = 1
+		b.RunVar[i] = 1
+	}
+	return b
+}
+
+// Name implements Layer.
+func (b *BatchNorm2D) Name() string { return fmt.Sprintf("BatchNorm2D(%d)", b.In.C) }
+
+// Params implements Layer.
+func (b *BatchNorm2D) Params() []Param {
+	return []Param{
+		{Name: b.Name() + ".gamma", W: b.Gamma, G: b.GGamma},
+		{Name: b.Name() + ".beta", W: b.Beta, G: b.GBeta},
+	}
+}
+
+// Forward implements Layer.
+func (b *BatchNorm2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	hw := b.In.H * b.In.W
+	res := tensor.NewMat(x.Rows, x.Cols)
+	if !train {
+		for s := 0; s < x.Rows; s++ {
+			in, out := x.Row(s), res.Row(s)
+			for ch := 0; ch < b.In.C; ch++ {
+				inv := 1 / float32(math.Sqrt(float64(b.RunVar[ch]+b.Eps)))
+				g, be, mu := b.Gamma[ch], b.Beta[ch], b.RunMean[ch]
+				for i := ch * hw; i < (ch+1)*hw; i++ {
+					out[i] = g*(in[i]-mu)*inv + be
+				}
+			}
+		}
+		return res
+	}
+	n := float64(x.Rows * hw)
+	b.rows = x.Rows
+	if len(b.xhat) != len(x.Data) {
+		b.xhat = make([]float32, len(x.Data))
+	}
+	if len(b.invStd) != b.In.C {
+		b.invStd = make([]float32, b.In.C)
+	}
+	for ch := 0; ch < b.In.C; ch++ {
+		var sum, sq float64
+		for s := 0; s < x.Rows; s++ {
+			in := x.Row(s)
+			for i := ch * hw; i < (ch+1)*hw; i++ {
+				v := float64(in[i])
+				sum += v
+				sq += v * v
+			}
+		}
+		mean := sum / n
+		variance := sq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		inv := float32(1 / math.Sqrt(variance+float64(b.Eps)))
+		b.invStd[ch] = inv
+		b.RunMean[ch] = b.Momentum*b.RunMean[ch] + (1-b.Momentum)*float32(mean)
+		b.RunVar[ch] = b.Momentum*b.RunVar[ch] + (1-b.Momentum)*float32(variance)
+		g, be := b.Gamma[ch], b.Beta[ch]
+		for s := 0; s < x.Rows; s++ {
+			in, out := x.Row(s), res.Row(s)
+			base := s * x.Cols
+			for i := ch * hw; i < (ch+1)*hw; i++ {
+				xh := (in[i] - float32(mean)) * inv
+				b.xhat[base+i] = xh
+				out[i] = g*xh + be
+			}
+		}
+	}
+	return res
+}
+
+// Backward implements Layer (standard batch-norm backward per channel).
+func (b *BatchNorm2D) Backward(dout *tensor.Mat) *tensor.Mat {
+	hw := b.In.H * b.In.W
+	n := float32(b.rows * hw)
+	dx := tensor.NewMat(dout.Rows, dout.Cols)
+	for ch := 0; ch < b.In.C; ch++ {
+		var sumDy, sumDyXhat float64
+		for s := 0; s < dout.Rows; s++ {
+			do := dout.Row(s)
+			base := s * dout.Cols
+			for i := ch * hw; i < (ch+1)*hw; i++ {
+				dy := float64(do[i])
+				sumDy += dy
+				sumDyXhat += dy * float64(b.xhat[base+i])
+			}
+		}
+		b.GBeta[ch] += float32(sumDy)
+		b.GGamma[ch] += float32(sumDyXhat)
+		g := b.Gamma[ch]
+		inv := b.invStd[ch]
+		for s := 0; s < dout.Rows; s++ {
+			do, dxr := dout.Row(s), dx.Row(s)
+			base := s * dout.Cols
+			for i := ch * hw; i < (ch+1)*hw; i++ {
+				xh := b.xhat[base+i]
+				dxr[i] = g * inv / n * (n*do[i] - float32(sumDy) - xh*float32(sumDyXhat))
+			}
+		}
+	}
+	return dx
+}

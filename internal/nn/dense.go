@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"a2sgd/internal/tensor"
+)
+
+// Linear is a fully connected layer: out = x·Wᵀ + b with W of shape
+// (outF, inF) — the building block of FNN-3 and every classifier head.
+type Linear struct {
+	InF, OutF int
+	W, B      []float32
+	GW, GB    []float32
+	x         *tensor.Mat // cached input for backward
+}
+
+// NewLinear builds a Linear layer with He initialization.
+func NewLinear(rng *tensor.RNG, inF, outF int) *Linear {
+	l := &Linear{
+		InF: inF, OutF: outF,
+		W: make([]float32, inF*outF), B: make([]float32, outF),
+		GW: make([]float32, inF*outF), GB: make([]float32, outF),
+	}
+	InitHe(rng, l.W, inF)
+	return l
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return fmt.Sprintf("Linear(%d→%d)", l.InF, l.OutF) }
+
+// Params implements Layer.
+func (l *Linear) Params() []Param {
+	return []Param{{Name: l.Name() + ".W", W: l.W, G: l.GW}, {Name: l.Name() + ".b", W: l.B, G: l.GB}}
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if x.Cols != l.InF {
+		panic(fmt.Sprintf("nn: %s got %d features", l.Name(), x.Cols))
+	}
+	if train {
+		l.x = x
+	}
+	out := tensor.NewMat(x.Rows, l.OutF)
+	wm := tensor.MatFrom(l.OutF, l.InF, l.W)
+	tensor.MatMulABT(out, x, wm)
+	tensor.AddRowVec(out, l.B)
+	return out
+}
+
+// Backward implements Layer: dW += doutᵀ·x, db += Σ dout, dx = dout·W.
+func (l *Linear) Backward(dout *tensor.Mat) *tensor.Mat {
+	gw := tensor.MatFrom(l.OutF, l.InF, l.GW)
+	tensor.MatMulATB(gw, dout, l.x)
+	tensor.ColSums(l.GB, dout)
+	dx := tensor.NewMat(dout.Rows, l.InF)
+	wm := tensor.MatFrom(l.OutF, l.InF, l.W)
+	tensor.MatMul(dx, dout, wm)
+	return dx
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU builds a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "ReLU" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	out := tensor.NewMat(x.Rows, x.Cols)
+	if train {
+		if len(r.mask) != len(x.Data) {
+			r.mask = make([]bool, len(x.Data))
+		}
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+				r.mask[i] = true
+			} else {
+				r.mask[i] = false
+			}
+		}
+		return out
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *tensor.Mat) *tensor.Mat {
+	dx := tensor.NewMat(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	out *tensor.Mat
+}
+
+// NewTanh builds a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "Tanh" }
+
+// Params implements Layer.
+func (t *Tanh) Params() []Param { return nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	out := tensor.NewMat(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	if train {
+		t.out = out
+	}
+	return out
+}
+
+// Backward implements Layer: dx = dout · (1 − tanh²).
+func (t *Tanh) Backward(dout *tensor.Mat) *tensor.Mat {
+	dx := tensor.NewMat(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		y := t.out.Data[i]
+		dx.Data[i] = v * (1 - y*y)
+	}
+	return dx
+}
+
+// Dropout zeroes activations with probability P during training and scales
+// the survivors by 1/(1−P) (inverted dropout).
+type Dropout struct {
+	P    float32
+	rng  *tensor.RNG
+	mask []float32
+}
+
+// NewDropout builds a dropout layer; p must be in [0, 1).
+func NewDropout(rng *tensor.RNG, p float32) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout p must be in [0,1)")
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.P) }
+
+// Params implements Layer.
+func (d *Dropout) Params() []Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if !train || d.P == 0 {
+		return x
+	}
+	out := tensor.NewMat(x.Rows, x.Cols)
+	if len(d.mask) != len(x.Data) {
+		d.mask = make([]float32, len(x.Data))
+	}
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float32() >= d.P {
+			d.mask[i] = scale
+			out.Data[i] = v * scale
+		} else {
+			d.mask[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dout *tensor.Mat) *tensor.Mat {
+	if d.P == 0 {
+		return dout
+	}
+	dx := tensor.NewMat(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		dx.Data[i] = v * d.mask[i]
+	}
+	return dx
+}
+
+// Residual wraps an inner stack and adds its (possibly transformed) input
+// to its output — the shortcut connection of ResNet. With a nil projection
+// the shortcut is the identity and input/output shapes must match; with a
+// projection stack (e.g. a 1×1 strided convolution plus batch norm, as in
+// ResNet's stage transitions) the projection's output shape must match the
+// inner stack's.
+type Residual struct {
+	Inner []Layer
+	Proj  []Layer // nil = identity shortcut
+	label string
+}
+
+// NewResidual builds an identity-shortcut residual block.
+func NewResidual(label string, inner ...Layer) *Residual {
+	return &Residual{Inner: inner, label: label}
+}
+
+// NewProjResidual builds a residual block whose shortcut applies proj —
+// the downsampling block at ResNet stage boundaries.
+func NewProjResidual(label string, proj []Layer, inner ...Layer) *Residual {
+	return &Residual{Inner: inner, Proj: proj, label: label}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return "Residual(" + r.label + ")" }
+
+// Params implements Layer.
+func (r *Residual) Params() []Param {
+	var ps []Param
+	for _, l := range r.Inner {
+		ps = append(ps, l.Params()...)
+	}
+	for _, l := range r.Proj {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	y := x
+	for _, l := range r.Inner {
+		y = l.Forward(y, train)
+	}
+	s := x
+	for _, l := range r.Proj {
+		s = l.Forward(s, train)
+	}
+	if y.Rows != s.Rows || y.Cols != s.Cols {
+		panic(fmt.Sprintf("nn: %s shape mismatch %dx%d vs %dx%d",
+			r.Name(), y.Rows, y.Cols, s.Rows, s.Cols))
+	}
+	out := tensor.NewMat(y.Rows, y.Cols)
+	for i := range out.Data {
+		out.Data[i] = s.Data[i] + y.Data[i]
+	}
+	return out
+}
+
+// Backward implements Layer: gradient flows through both paths and sums.
+func (r *Residual) Backward(dout *tensor.Mat) *tensor.Mat {
+	d := dout
+	for i := len(r.Inner) - 1; i >= 0; i-- {
+		d = r.Inner[i].Backward(d)
+	}
+	ds := dout
+	for i := len(r.Proj) - 1; i >= 0; i-- {
+		ds = r.Proj[i].Backward(ds)
+	}
+	dx := tensor.NewMat(d.Rows, d.Cols)
+	for i := range dx.Data {
+		dx.Data[i] = ds.Data[i] + d.Data[i]
+	}
+	return dx
+}

@@ -1,0 +1,30 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"a2sgd/internal/tensor"
+)
+
+// FuzzCheckpointLoad: LoadParams consumes files from disk, so arbitrary
+// bytes must produce an error or a clean load — never a panic or OOM.
+func FuzzCheckpointLoad(f *testing.F) {
+	net := NewNetwork(NewLinear(tensor.NewRNG(1), 3, 2))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, net.Params()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("A2CK"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	if len(corrupt) > 12 {
+		corrupt[12] ^= 0xff
+	}
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		target := NewNetwork(NewLinear(tensor.NewRNG(1), 3, 2))
+		_, _ = LoadParams(bytes.NewReader(data), target.Params())
+	})
+}

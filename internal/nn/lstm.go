@@ -1,0 +1,329 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"a2sgd/internal/tensor"
+)
+
+// LSTMLM is a word-level multi-layer LSTM language model: embedding → one
+// or more stacked LSTM layers unrolled over the sequence → vocabulary
+// projection, trained with softmax cross-entropy on next-token prediction.
+// It is the architecture family of the paper's LSTM-PTB workload: with
+// vocab 10,000, embedding/hidden 1500 and two layers the parameter count is
+// 66.0 M — the paper's Table 1 entry (see models.TestPaperScaleLSTMCount).
+//
+// Because the recurrent weights are shared across timesteps, the model
+// manages its own backpropagation-through-time rather than implementing the
+// feed-forward Layer interface.
+type LSTMLM struct {
+	Vocab, Embed, Hidden, Layers int
+
+	// Parameters. Gate layout within the 4H dimension: [i f g o].
+	E      []float32   // (Vocab, Embed) embedding
+	Wx     [][]float32 // per layer: (4H, in) with in = Embed (l=0) or Hidden
+	Wh     [][]float32 // per layer: (4H, Hidden)
+	B      [][]float32 // per layer: (4H)
+	Wy, By []float32   // (Vocab, Hidden), (Vocab) output projection
+
+	GE, GWy, GBy []float32
+	GWx, GWh, GB [][]float32
+
+	// caches for BPTT, indexed [layer][t]
+	tokens  [][]int
+	xs      [][]*tensor.Mat // layer inputs per t: (B, in)
+	hs, cs  [][]*tensor.Mat // states per t (index t+1; index 0 is zeros)
+	gates   [][]*tensor.Mat // post-activation gate values per t: (B, 4H)
+	tanhC   [][]*tensor.Mat // tanh(c_t) per t
+	dlogits []*tensor.Mat   // per t
+}
+
+// NewLSTMLM builds a single-layer model with Xavier initialization.
+func NewLSTMLM(rng *tensor.RNG, vocab, embed, hidden int) *LSTMLM {
+	return NewDeepLSTMLM(rng, vocab, embed, hidden, 1)
+}
+
+// NewDeepLSTMLM builds a stacked model with the given layer count.
+func NewDeepLSTMLM(rng *tensor.RNG, vocab, embed, hidden, layers int) *LSTMLM {
+	if layers < 1 {
+		panic("nn: LSTM needs at least one layer")
+	}
+	m := &LSTMLM{Vocab: vocab, Embed: embed, Hidden: hidden, Layers: layers}
+	h4 := 4 * hidden
+	m.E = make([]float32, vocab*embed)
+	m.Wy = make([]float32, vocab*hidden)
+	m.By = make([]float32, vocab)
+	m.GE = make([]float32, len(m.E))
+	m.GWy = make([]float32, len(m.Wy))
+	m.GBy = make([]float32, len(m.By))
+	InitUniform(rng, m.E, 0.1)
+	InitXavier(rng, m.Wy, hidden, vocab)
+	for l := 0; l < layers; l++ {
+		in := embed
+		if l > 0 {
+			in = hidden
+		}
+		wx := make([]float32, h4*in)
+		wh := make([]float32, h4*hidden)
+		b := make([]float32, h4)
+		InitXavier(rng, wx, in, h4)
+		InitXavier(rng, wh, hidden, h4)
+		// Forget-gate bias starts at 1 — the standard trick for gradient flow.
+		for i := hidden; i < 2*hidden; i++ {
+			b[i] = 1
+		}
+		m.Wx = append(m.Wx, wx)
+		m.Wh = append(m.Wh, wh)
+		m.B = append(m.B, b)
+		m.GWx = append(m.GWx, make([]float32, len(wx)))
+		m.GWh = append(m.GWh, make([]float32, len(wh)))
+		m.GB = append(m.GB, make([]float32, len(b)))
+	}
+	return m
+}
+
+// Params returns the learnable tensors.
+func (m *LSTMLM) Params() []Param {
+	ps := []Param{{Name: "lstm.E", W: m.E, G: m.GE}}
+	for l := 0; l < m.Layers; l++ {
+		ps = append(ps,
+			Param{Name: fmt.Sprintf("lstm.%d.Wx", l), W: m.Wx[l], G: m.GWx[l]},
+			Param{Name: fmt.Sprintf("lstm.%d.Wh", l), W: m.Wh[l], G: m.GWh[l]},
+			Param{Name: fmt.Sprintf("lstm.%d.b", l), W: m.B[l], G: m.GB[l]},
+		)
+	}
+	ps = append(ps,
+		Param{Name: "lstm.Wy", W: m.Wy, G: m.GWy},
+		Param{Name: "lstm.by", W: m.By, G: m.GBy},
+	)
+	return ps
+}
+
+// NumParams returns the learnable parameter count.
+func (m *LSTMLM) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.W)
+	}
+	return n
+}
+
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// layerIn returns layer l's input width.
+func (m *LSTMLM) layerIn(l int) int {
+	if l == 0 {
+		return m.Embed
+	}
+	return m.Hidden
+}
+
+// cellForward runs one LSTM layer for one timestep: given input x, previous
+// h and c, it returns (gates, newH, newC, tanhC). gates holds the
+// post-activation [i f g o] values.
+func (m *LSTMLM) cellForward(l int, x, h, c *tensor.Mat) (z, newH, newC, tc *tensor.Mat) {
+	B := x.Rows
+	H := m.Hidden
+	wx := tensor.MatFrom(4*H, m.layerIn(l), m.Wx[l])
+	wh := tensor.MatFrom(4*H, H, m.Wh[l])
+	z = tensor.NewMat(B, 4*H)
+	tensor.MatMulABT(z, x, wx)
+	zh := tensor.NewMat(B, 4*H)
+	tensor.MatMulABT(zh, h, wh)
+	tensor.Add(z.Data, zh.Data)
+	tensor.AddRowVec(z, m.B[l])
+	newH = tensor.NewMat(B, H)
+	newC = tensor.NewMat(B, H)
+	tc = tensor.NewMat(B, H)
+	for b := 0; b < B; b++ {
+		zr := z.Row(b)
+		cPrev := c.Row(b)
+		hr, cr, tr := newH.Row(b), newC.Row(b), tc.Row(b)
+		for j := 0; j < H; j++ {
+			ig := sigmoid(zr[j])
+			fg := sigmoid(zr[H+j])
+			gg := float32(math.Tanh(float64(zr[2*H+j])))
+			og := sigmoid(zr[3*H+j])
+			zr[j], zr[H+j], zr[2*H+j], zr[3*H+j] = ig, fg, gg, og
+			cr[j] = fg*cPrev[j] + ig*gg
+			tr[j] = float32(math.Tanh(float64(cr[j])))
+			hr[j] = og * tr[j]
+		}
+	}
+	return z, newH, newC, tc
+}
+
+// Forward runs the model over tokens[b][t], predicting tokens[b][t+1] for
+// t < T−1, and returns the mean cross-entropy per predicted token. When
+// train is true the activations are cached for Backward.
+func (m *LSTMLM) Forward(tokens [][]int, train bool) float64 {
+	B := len(tokens)
+	if B == 0 {
+		return 0
+	}
+	T := len(tokens[0]) - 1 // predictions
+	if T < 1 {
+		panic("nn: LSTMLM needs sequences of length ≥ 2")
+	}
+	H := m.Hidden
+	wy := tensor.MatFrom(m.Vocab, H, m.Wy)
+
+	if train {
+		m.tokens = tokens
+		m.xs = make([][]*tensor.Mat, m.Layers)
+		m.hs = make([][]*tensor.Mat, m.Layers)
+		m.cs = make([][]*tensor.Mat, m.Layers)
+		m.gates = make([][]*tensor.Mat, m.Layers)
+		m.tanhC = make([][]*tensor.Mat, m.Layers)
+		m.dlogits = make([]*tensor.Mat, T)
+		for l := 0; l < m.Layers; l++ {
+			m.xs[l] = make([]*tensor.Mat, T)
+			m.hs[l] = make([]*tensor.Mat, T+1)
+			m.cs[l] = make([]*tensor.Mat, T+1)
+			m.gates[l] = make([]*tensor.Mat, T)
+			m.tanhC[l] = make([]*tensor.Mat, T)
+			m.hs[l][0] = tensor.NewMat(B, H)
+			m.cs[l][0] = tensor.NewMat(B, H)
+		}
+	}
+	h := make([]*tensor.Mat, m.Layers)
+	c := make([]*tensor.Mat, m.Layers)
+	for l := range h {
+		h[l] = tensor.NewMat(B, H)
+		c[l] = tensor.NewMat(B, H)
+	}
+
+	var totalCE float64
+	for t := 0; t < T; t++ {
+		// Embed tokens at position t.
+		x := tensor.NewMat(B, m.Embed)
+		for b := 0; b < B; b++ {
+			tok := tokens[b][t]
+			if tok < 0 || tok >= m.Vocab {
+				panic(fmt.Sprintf("nn: token %d out of vocab %d", tok, m.Vocab))
+			}
+			copy(x.Row(b), m.E[tok*m.Embed:(tok+1)*m.Embed])
+		}
+		// Stack of LSTM layers.
+		in := x
+		for l := 0; l < m.Layers; l++ {
+			z, newH, newC, tc := m.cellForward(l, in, h[l], c[l])
+			if train {
+				m.xs[l][t] = in
+				m.gates[l][t] = z
+				m.tanhC[l][t] = tc
+				m.hs[l][t+1] = newH
+				m.cs[l][t+1] = newC
+			}
+			h[l], c[l] = newH, newC
+			in = newH
+		}
+		// Output logits and loss against the next token.
+		logits := tensor.NewMat(B, m.Vocab)
+		tensor.MatMulABT(logits, in, wy)
+		tensor.AddRowVec(logits, m.By)
+		labels := make([]int, B)
+		for b := 0; b < B; b++ {
+			labels[b] = tokens[b][t+1]
+		}
+		ce, dlog := SoftmaxCE(logits, labels)
+		totalCE += ce
+		if train {
+			m.dlogits[t] = dlog
+		}
+	}
+	return totalCE / float64(T)
+}
+
+// Backward runs truncated BPTT over the cached sequence, accumulating
+// parameter gradients. The loss is the mean CE per token, matching Forward.
+func (m *LSTMLM) Backward() {
+	B := len(m.tokens)
+	T := len(m.dlogits)
+	H := m.Hidden
+	wy := tensor.MatFrom(m.Vocab, H, m.Wy)
+	gwy := tensor.MatFrom(m.Vocab, H, m.GWy)
+	scratchWy := tensor.NewMat(m.Vocab, H)
+
+	// Per-layer carried state gradients.
+	dh := make([]*tensor.Mat, m.Layers)
+	dc := make([]*tensor.Mat, m.Layers)
+	for l := range dh {
+		dh[l] = tensor.NewMat(B, H)
+		dc[l] = tensor.NewMat(B, H)
+	}
+	invT := float32(1.0 / float64(T))
+
+	for t := T - 1; t >= 0; t-- {
+		dlog := m.dlogits[t]
+		// Scale: Forward averaged CE over T steps.
+		tensor.Scale(dlog.Data, invT)
+		top := m.Layers - 1
+		tensor.MatMulATB(scratchWy, dlog, m.hs[top][t+1])
+		tensor.Add(gwy.Data, scratchWy.Data)
+		for b := 0; b < B; b++ {
+			row := dlog.Row(b)
+			for v, g := range row {
+				m.GBy[v] += g
+			}
+		}
+		dhOut := tensor.NewMat(B, H)
+		tensor.MatMul(dhOut, dlog, wy)
+		tensor.Add(dh[top].Data, dhOut.Data)
+
+		// Backward through the stack, top to bottom; dx of layer l feeds
+		// dh of layer l−1 (same timestep).
+		for l := top; l >= 0; l-- {
+			in := m.layerIn(l)
+			wx := tensor.MatFrom(4*H, in, m.Wx[l])
+			wh := tensor.MatFrom(4*H, H, m.Wh[l])
+			dz := tensor.NewMat(B, 4*H)
+			newDh := tensor.NewMat(B, H)
+			newDc := tensor.NewMat(B, H)
+			for b := 0; b < B; b++ {
+				zr := m.gates[l][t].Row(b) // [i f g o] post-activation
+				tr := m.tanhC[l][t].Row(b)
+				cPrev := m.cs[l][t].Row(b)
+				dhr, dcr := dh[l].Row(b), dc[l].Row(b)
+				dzr := dz.Row(b)
+				ndc := newDc.Row(b)
+				for j := 0; j < H; j++ {
+					ig, fg, gg, og := zr[j], zr[H+j], zr[2*H+j], zr[3*H+j]
+					dcTot := dcr[j] + dhr[j]*og*(1-tr[j]*tr[j])
+					dzr[3*H+j] = dhr[j] * tr[j] * og * (1 - og) // do
+					dzr[j] = dcTot * gg * ig * (1 - ig)         // di
+					dzr[H+j] = dcTot * cPrev[j] * fg * (1 - fg) // df
+					dzr[2*H+j] = dcTot * ig * (1 - gg*gg)       // dg
+					ndc[j] = dcTot * fg
+				}
+			}
+			// Parameter grads.
+			scratchWx := tensor.NewMat(4*H, in)
+			tensor.MatMulATB(scratchWx, dz, m.xs[l][t])
+			tensor.Add(m.GWx[l], scratchWx.Data)
+			scratchWh := tensor.NewMat(4*H, H)
+			tensor.MatMulATB(scratchWh, dz, m.hs[l][t])
+			tensor.Add(m.GWh[l], scratchWh.Data)
+			tensor.ColSums(m.GB[l], dz)
+			// dx: to the embedding (l=0) or to the layer below's dh.
+			dx := tensor.NewMat(B, in)
+			tensor.MatMul(dx, dz, wx)
+			if l == 0 {
+				for b := 0; b < B; b++ {
+					tok := m.tokens[b][t]
+					tensor.Add(m.GE[tok*m.Embed:(tok+1)*m.Embed], dx.Row(b))
+				}
+			} else {
+				tensor.Add(dh[l-1].Data, dx.Data)
+			}
+			// dh_{t-1}, dc_{t-1} for this layer.
+			tensor.MatMul(newDh, dz, wh)
+			dh[l], dc[l] = newDh, newDc
+		}
+	}
+	// Release caches.
+	m.xs, m.hs, m.cs, m.gates, m.tanhC, m.dlogits, m.tokens = nil, nil, nil, nil, nil, nil, nil
+}

@@ -1,0 +1,168 @@
+// Package nn is a from-scratch neural-network framework with reverse-mode
+// backpropagation: fully connected, convolutional, batch-norm, pooling,
+// dropout, embedding and LSTM layers plus a softmax cross-entropy loss.
+// It plays the role PyTorch plays in the paper — producing real gradients
+// from real training so that the distributed synchronization experiments
+// operate on genuine gradient distributions (Figure 1), not synthetic noise.
+//
+// Data layout: a batch is a tensor.Mat with one sample per row. Image
+// tensors are flattened row-major as C×H×W per row; convolutional layers
+// carry the (C, H, W) shape metadata themselves.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"a2sgd/internal/tensor"
+)
+
+// Param is one learnable tensor: the weight slice and its gradient
+// accumulator, which always have identical length.
+type Param struct {
+	Name string
+	W    []float32
+	G    []float32
+}
+
+// Layer is a differentiable module.
+type Layer interface {
+	// Forward computes the layer output for a batch (rows = samples).
+	// train toggles training-time behaviour (dropout, batch-norm stats).
+	// The layer may retain references to x and its own activations for
+	// Backward; callers must not mutate x until Backward completes.
+	Forward(x *tensor.Mat, train bool) *tensor.Mat
+	// Backward takes dL/dout and returns dL/dx, accumulating dL/dW into
+	// the layer's gradient slices. Must follow a Forward with train=true.
+	Backward(dout *tensor.Mat) *tensor.Mat
+	// Params returns the learnable tensors (possibly none).
+	Params() []Param
+	// Name identifies the layer in summaries.
+	Name() string
+}
+
+// Network is a sequential container of layers with the flattened-vector
+// views the distributed runtime needs.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a sequential network.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward runs all layers in order.
+func (n *Network) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse.
+func (n *Network) Backward(dout *tensor.Mat) *tensor.Mat {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dout = n.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns every learnable tensor in layer order.
+func (n *Network) Params() []Param {
+	var ps []Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total learnable parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W)
+	}
+	return total
+}
+
+// ZeroGrads clears every gradient accumulator.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		tensor.Zero(p.G)
+	}
+}
+
+// GatherGrads copies all gradients into dst (len == NumParams()) in layer
+// order — the flattened gradient vector of the paper's Algorithm 1.
+func (n *Network) GatherGrads(dst []float32) {
+	off := 0
+	for _, p := range n.Params() {
+		copy(dst[off:off+len(p.G)], p.G)
+		off += len(p.G)
+	}
+	if off != len(dst) {
+		panic(fmt.Sprintf("nn: GatherGrads length %d != %d", len(dst), off))
+	}
+}
+
+// ScatterGrads writes the flattened gradient vector back into the layers.
+func (n *Network) ScatterGrads(src []float32) {
+	off := 0
+	for _, p := range n.Params() {
+		copy(p.G, src[off:off+len(p.G)])
+		off += len(p.G)
+	}
+	if off != len(src) {
+		panic(fmt.Sprintf("nn: ScatterGrads length %d != %d", len(src), off))
+	}
+}
+
+// GatherParams copies all weights into dst.
+func (n *Network) GatherParams(dst []float32) {
+	off := 0
+	for _, p := range n.Params() {
+		copy(dst[off:off+len(p.W)], p.W)
+		off += len(p.W)
+	}
+}
+
+// ScatterParams writes flattened weights back (initial model broadcast).
+func (n *Network) ScatterParams(src []float32) {
+	off := 0
+	for _, p := range n.Params() {
+		copy(p.W, src[off:off+len(p.W)])
+		off += len(p.W)
+	}
+}
+
+// Summary returns a one-line-per-layer description.
+func (n *Network) Summary() string {
+	s := ""
+	for _, l := range n.Layers {
+		np := 0
+		for _, p := range l.Params() {
+			np += len(p.W)
+		}
+		s += fmt.Sprintf("%-24s %10d params\n", l.Name(), np)
+	}
+	s += fmt.Sprintf("%-24s %10d params\n", "TOTAL", n.NumParams())
+	return s
+}
+
+// ---- initializers ----
+
+// InitHe fills w with He-normal values for fan-in (ReLU networks).
+func InitHe(rng *tensor.RNG, w []float32, fanIn int) {
+	std := float32(math.Sqrt(2 / float64(fanIn)))
+	rng.NormVec(w, 0, std)
+}
+
+// InitXavier fills w with Glorot-normal values (tanh/sigmoid networks).
+func InitXavier(rng *tensor.RNG, w []float32, fanIn, fanOut int) {
+	std := float32(math.Sqrt(2 / float64(fanIn+fanOut)))
+	rng.NormVec(w, 0, std)
+}
+
+// InitUniform fills w with U(−b, b).
+func InitUniform(rng *tensor.RNG, w []float32, b float32) {
+	rng.UniformVec(w, -b, b)
+}

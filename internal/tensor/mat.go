@@ -1,0 +1,133 @@
+package tensor
+
+// Mat is a dense row-major float32 matrix. It is the workhorse of the NN
+// framework: fully connected layers, im2col convolution and LSTM gate
+// computations all reduce to Mat products.
+type Mat struct {
+	Rows, Cols int
+	Data       Vec // len == Rows*Cols, row-major
+}
+
+// NewMat allocates a zeroed Rows×Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make(Vec, rows*cols)}
+}
+
+// MatFrom wraps an existing slice as a Rows×Cols matrix (no copy).
+func MatFrom(rows, cols int, data Vec) *Mat {
+	if len(data) != rows*cols {
+		panic("tensor: MatFrom length mismatch")
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r, c).
+func (m *Mat) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Mat) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns row r as a subslice (no copy).
+func (m *Mat) Row(r int) Vec { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	return &Mat{Rows: m.Rows, Cols: m.Cols, Data: Clone(m.Data)}
+}
+
+// MatMul computes dst = a × b. dst must be pre-allocated with shape
+// a.Rows × b.Cols and must not alias a or b. The kernel is a blocked
+// ikj loop that vectorizes well and runs row-parallel for large outputs.
+func MatMul(dst, a, b *Mat) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMul shape mismatch")
+	}
+	n := a.Rows
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			Zero(di)
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for k, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+				AXPY(di, av, bk)
+			}
+		}
+	}
+	// Parallelize across output rows when the work is worth it.
+	if n*a.Cols*b.Cols >= grainSize*8 {
+		ParallelFor(n, body)
+	} else {
+		body(0, n)
+	}
+}
+
+// MatMulATB computes dst = aᵀ × b without materializing the transpose.
+// Shapes: a is m×n, b is m×p, dst is n×p.
+func MatMulATB(dst, a, b *Mat) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: MatMulATB shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for k := 0; k < a.Rows; k++ {
+		ak := a.Row(k)
+		bk := b.Row(k)
+		for i, av := range ak {
+			if av == 0 {
+				continue
+			}
+			AXPY(dst.Data[i*dst.Cols:(i+1)*dst.Cols], av, bk)
+		}
+	}
+}
+
+// MatMulABT computes dst = a × bᵀ without materializing the transpose.
+// Shapes: a is m×n, b is p×n, dst is m×p.
+func MatMulABT(dst, a, b *Mat) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MatMulABT shape mismatch")
+	}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			di := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				di[j] = float32(Dot(ai, b.Row(j)))
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Rows >= grainSize*8 {
+		ParallelFor(a.Rows, body)
+	} else {
+		body(0, a.Rows)
+	}
+}
+
+// AddRowVec adds v to every row of m (broadcast bias add).
+func AddRowVec(m *Mat, v Vec) {
+	if len(v) != m.Cols {
+		panic("tensor: AddRowVec length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		Add(m.Row(r), v)
+	}
+}
+
+// ColSums accumulates the column sums of m into dst (len dst == m.Cols).
+// Used for bias gradients.
+func ColSums(dst Vec, m *Mat) {
+	if len(dst) != m.Cols {
+		panic("tensor: ColSums length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		Add(dst, m.Row(r))
+	}
+}

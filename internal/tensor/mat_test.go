@@ -1,0 +1,193 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// naiveMul is the reference O(n³) triple loop all kernels are checked against.
+func naiveMul(a, b *Mat) *Mat {
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			out.Set(i, j, float32(s))
+		}
+	}
+	return out
+}
+
+func randMat(r *RNG, rows, cols int) *Mat {
+	m := NewMat(rows, cols)
+	r.NormVec(m.Data, 0, 1)
+	return m
+}
+
+func matsClose(t *testing.T, got, want *Mat, tol float64, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape (%d,%d) vs (%d,%d)", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if !almostEq(float64(got.Data[i]), float64(want.Data[i]), tol) {
+			t.Fatalf("%s: element %d = %v, want %v", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	r := NewRNG(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {17, 9, 13}, {64, 32, 48}} {
+		a := randMat(r, dims[0], dims[1])
+		b := randMat(r, dims[1], dims[2])
+		dst := NewMat(dims[0], dims[2])
+		MatMul(dst, a, b)
+		matsClose(t, dst, naiveMul(a, b), 1e-4, "MatMul")
+	}
+}
+
+func TestMatMulLargeParallel(t *testing.T) {
+	r := NewRNG(2)
+	a := randMat(r, 130, 70)
+	b := randMat(r, 70, 90)
+	dst := NewMat(130, 90)
+	MatMul(dst, a, b)
+	matsClose(t, dst, naiveMul(a, b), 1e-3, "MatMul-large")
+}
+
+func TestMatMulATB(t *testing.T) {
+	r := NewRNG(3)
+	a := randMat(r, 12, 7) // aᵀ is 7x12
+	b := randMat(r, 12, 9)
+	dst := NewMat(7, 9)
+	MatMulATB(dst, a, b)
+	// Reference: transpose a explicitly.
+	at := NewMat(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	matsClose(t, dst, naiveMul(at, b), 1e-4, "MatMulATB")
+}
+
+func TestMatMulABT(t *testing.T) {
+	r := NewRNG(4)
+	a := randMat(r, 8, 11)
+	b := randMat(r, 6, 11) // bᵀ is 11x6
+	dst := NewMat(8, 6)
+	MatMulABT(dst, a, b)
+	bt := NewMat(b.Cols, b.Rows)
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	matsClose(t, dst, naiveMul(a, bt), 1e-4, "MatMulABT")
+}
+
+func TestMatShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { MatMul(NewMat(2, 2), NewMat(2, 3), NewMat(4, 2)) },
+		func() { MatMulATB(NewMat(2, 2), NewMat(3, 2), NewMat(4, 2)) },
+		func() { MatMulABT(NewMat(2, 2), NewMat(2, 3), NewMat(2, 4)) },
+		func() { MatFrom(2, 3, NewVec(5)) },
+		func() { AddRowVec(NewMat(2, 3), NewVec(2)) },
+		func() { ColSums(NewVec(2), NewMat(2, 3)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAddRowVecColSums(t *testing.T) {
+	m := MatFrom(2, 3, Vec{1, 2, 3, 4, 5, 6})
+	AddRowVec(m, Vec{10, 20, 30})
+	want := Vec{11, 22, 33, 14, 25, 36}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("AddRowVec[%d]=%v want %v", i, m.Data[i], want[i])
+		}
+	}
+	s := NewVec(3)
+	ColSums(s, m)
+	wantS := Vec{25, 47, 69}
+	for i := range wantS {
+		if s[i] != wantS[i] {
+			t.Fatalf("ColSums[%d]=%v want %v", i, s[i], wantS[i])
+		}
+	}
+}
+
+func TestRowAndAt(t *testing.T) {
+	m := MatFrom(2, 2, Vec{1, 2, 3, 4})
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0)=%v", m.At(1, 0))
+	}
+	row := m.Row(1)
+	row[1] = 9
+	if m.At(1, 1) != 9 {
+		t.Error("Row must alias storage")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 100)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone must not alias storage")
+	}
+}
+
+// Property: (A×B)ᵀ == Bᵀ×Aᵀ via the ATB/ABT kernels on random shapes.
+func TestMatMulTransposeIdentity(t *testing.T) {
+	r := NewRNG(5)
+	f := func(seed uint32) bool {
+		rr := NewRNG(uint64(seed))
+		m := 1 + rr.Intn(10)
+		n := 1 + rr.Intn(10)
+		p := 1 + rr.Intn(10)
+		a := randMat(r, m, n)
+		b := randMat(r, n, p)
+		ab := NewMat(m, p)
+		MatMul(ab, a, b)
+		// Compute bᵀaᵀ = (ab)ᵀ using ABT/ATB composition:
+		// (ab)ᵀ[j][i] == ab[i][j]
+		abt := NewMat(p, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < p; j++ {
+				abt.Set(j, i, ab.At(i, j))
+			}
+		}
+		// bᵀ × aᵀ directly with naive loops over transposes.
+		bt := NewMat(p, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				bt.Set(j, i, b.At(i, j))
+			}
+		}
+		at := NewMat(n, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				at.Set(j, i, a.At(i, j))
+			}
+		}
+		want := naiveMul(bt, at)
+		for i := range want.Data {
+			if !almostEq(float64(abt.Data[i]), float64(want.Data[i]), 1e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

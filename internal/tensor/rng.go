@@ -1,0 +1,156 @@
+// Package tensor provides the dense float32 math kernels that every other
+// package in this repository builds on: vectors, matrices, elementwise and
+// reduction kernels, a parallel-for helper, and a fast deterministic RNG.
+//
+// The kernels are deliberately simple, allocation-conscious and cache
+// friendly; they are the CPU stand-in for the GPU tensor runtime (PyTorch)
+// used by the paper. All heavy operations have both a serial and a parallel
+// path and are covered by reference-comparison tests.
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64-seeded xoshiro256**). Each worker in the distributed runtime
+// owns one RNG so that runs are reproducible for any interleaving of
+// goroutines. It is not safe for concurrent use; clone per goroutine.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 to spread the seed across the state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives a new independent generator; useful to hand one RNG to each
+// worker from a single experiment seed.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa5a5a5a55a5a5a5a)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) * (1.0 / (1 << 24))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Norm returns a standard normal variate (Box–Muller, cached pair).
+func (r *RNG) Norm() float32 {
+	// Marsaglia polar method without caching keeps the struct small; the
+	// expected number of iterations is ~1.27.
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return float32(u * math.Sqrt(-2*math.Log(s)/s))
+		}
+	}
+}
+
+// NormVec fills dst with iid N(mean, std²) samples.
+func (r *RNG) NormVec(dst []float32, mean, std float32) {
+	for i := range dst {
+		dst[i] = mean + std*r.Norm()
+	}
+}
+
+// UniformVec fills dst with iid U[lo, hi) samples.
+func (r *RNG) UniformVec(dst []float32, lo, hi float32) {
+	w := hi - lo
+	for i := range dst {
+		dst[i] = lo + w*r.Float32()
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf returns samples from a Zipf-Mandelbrot-like distribution over
+// [0, n) with exponent s > 0: P(k) ∝ 1/(k+1)^s. Used by the PTB-like
+// synthetic corpus; implemented with a cached inverse CDF for speed.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a sampler over n items with exponent s.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("tensor: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next draws one sample via binary search over the CDF.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

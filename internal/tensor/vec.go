@@ -1,0 +1,271 @@
+package tensor
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Vec is a dense float32 vector. Gradients, weights and activations are all
+// Vecs; the distributed algorithms in this repository operate on flattened
+// parameter vectors exactly as the paper's Algorithm 1 does.
+type Vec = []float32
+
+// NewVec allocates a zeroed vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Zero sets every element of v to 0 in place.
+func Zero(v Vec) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to c in place.
+func Fill(v Vec, c float32) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Clone returns a copy of v.
+func Clone(v Vec) Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add computes dst[i] += src[i]. Panics when lengths differ.
+func Add(dst, src Vec) {
+	checkLen(len(dst), len(src))
+	for i, s := range src {
+		dst[i] += s
+	}
+}
+
+// Sub computes dst[i] -= src[i]. Panics when lengths differ.
+func Sub(dst, src Vec) {
+	checkLen(len(dst), len(src))
+	for i, s := range src {
+		dst[i] -= s
+	}
+}
+
+// Mul computes dst[i] *= src[i]. Panics when lengths differ.
+func Mul(dst, src Vec) {
+	checkLen(len(dst), len(src))
+	for i, s := range src {
+		dst[i] *= s
+	}
+}
+
+// Scale computes v[i] *= c in place.
+func Scale(v Vec, c float32) {
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// AXPY computes dst[i] += a*src[i] (the BLAS axpy kernel).
+func AXPY(dst Vec, a float32, src Vec) {
+	checkLen(len(dst), len(src))
+	for i, s := range src {
+		dst[i] += a * s
+	}
+}
+
+// Dot returns the inner product <a, b> accumulated in float64 for stability.
+func Dot(a, b Vec) float64 {
+	checkLen(len(a), len(b))
+	var s float64
+	for i, x := range a {
+		s += float64(x) * float64(b[i])
+	}
+	return s
+}
+
+// Sum returns the float64-accumulated sum of v.
+func Sum(v Vec) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x)
+	}
+	return s
+}
+
+// Norm2 returns the l2 norm of v.
+func Norm2(v Vec) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}
+
+// AbsMax returns max_i |v[i]|, or 0 for an empty vector.
+func AbsMax(v Vec) float32 {
+	var m float32
+	for _, x := range v {
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MaxIdx returns the index of the maximum element (first on ties) or -1 for
+// an empty vector. Used for top-1 classification accuracy.
+func MaxIdx(v Vec) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bi := v[0], 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > best {
+			best, bi = v[i], i
+		}
+	}
+	return bi
+}
+
+// SignedMeans computes the paper's two-level statistics in one pass:
+// muPos = mean(v_i | v_i >= 0) and muNeg = mean(|v_i| | v_i < 0).
+// When a side is empty its mean is 0 (the natural neutral element for the
+// enc operator). nPos reports how many entries were non-negative.
+func SignedMeans(v Vec) (muPos, muNeg float32, nPos int) {
+	var sp, sn float64
+	np := 0
+	for _, x := range v {
+		if x >= 0 {
+			sp += float64(x)
+			np++
+		} else {
+			sn -= float64(x)
+		}
+	}
+	if np > 0 {
+		muPos = float32(sp / float64(np))
+	}
+	if nn := len(v) - np; nn > 0 {
+		muNeg = float32(sn / float64(nn))
+	}
+	return muPos, muNeg, np
+}
+
+// HasNaNOrInf reports whether any element is NaN or ±Inf. The training
+// runtime uses it for failure injection tests and gradient health checks.
+func HasNaNOrInf(v Vec) bool {
+	for _, x := range v {
+		f := float64(x)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic("tensor: vector length mismatch")
+	}
+}
+
+// ---- parallel helpers ----
+
+// maxProcs bounds the fan-out of ParallelFor. Tests may lower it.
+var maxProcs = runtime.GOMAXPROCS(0)
+
+// grainSize is the minimum number of elements worth a goroutine.
+const grainSize = 1 << 14
+
+// ParallelFor splits [0, n) into contiguous chunks and runs body(lo, hi) on
+// each, using up to GOMAXPROCS goroutines. Small ranges run inline. body
+// must be safe to run concurrently on disjoint ranges.
+func ParallelFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxProcs
+	if w := (n + grainSize - 1) / grainSize; w < workers {
+		workers = w
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParSignedMeans is SignedMeans with a parallel reduction; used on the
+// paper-scale vectors (up to 100 M elements) in Figure 2 and Table 2.
+func ParSignedMeans(v Vec) (muPos, muNeg float32, nPos int) {
+	n := len(v)
+	if n < 4*grainSize {
+		return SignedMeans(v)
+	}
+	type part struct {
+		sp, sn float64
+		np     int
+	}
+	workers := maxProcs
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var sp, sn float64
+			np := 0
+			for _, x := range v[lo:hi] {
+				if x >= 0 {
+					sp += float64(x)
+					np++
+				} else {
+					sn -= float64(x)
+				}
+			}
+			parts[w] = part{sp, sn, np}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var sp, sn float64
+	np := 0
+	for _, p := range parts {
+		sp += p.sp
+		sn += p.sn
+		np += p.np
+	}
+	if np > 0 {
+		muPos = float32(sp / float64(np))
+	}
+	if nn := n - np; nn > 0 {
+		muNeg = float32(sn / float64(nn))
+	}
+	return muPos, muNeg, np
+}

@@ -1,0 +1,334 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("RNG not deterministic at draw %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds produced %d/1000 equal draws", same)
+	}
+}
+
+func TestRNGFloat32Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float32()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(99)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := float64(r.Norm())
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	r := NewRNG(11)
+	z := NewZipf(r, 50, 1.0)
+	counts := make([]int, 50)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must be the most frequent and ranks must broadly decay.
+	if counts[0] <= counts[10] || counts[10] <= counts[40] {
+		t.Errorf("Zipf counts not decaying: c0=%d c10=%d c40=%d", counts[0], counts[10], counts[40])
+	}
+}
+
+func TestVecBasics(t *testing.T) {
+	v := NewVec(4)
+	Fill(v, 2)
+	w := Vec{1, 2, 3, 4}
+	Add(v, w)
+	want := Vec{3, 4, 5, 6}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Add: v[%d]=%v want %v", i, v[i], want[i])
+		}
+	}
+	Sub(v, w)
+	for i := range v {
+		if v[i] != 2 {
+			t.Fatalf("Sub: v[%d]=%v want 2", i, v[i])
+		}
+	}
+	Mul(v, w)
+	Scale(v, 0.5)
+	want = Vec{1, 2, 3, 4}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Mul/Scale: v[%d]=%v want %v", i, v[i], want[i])
+		}
+	}
+	AXPY(v, 2, w)
+	for i := range v {
+		if v[i] != 3*w[i] {
+			t.Fatalf("AXPY: v[%d]=%v want %v", i, v[i], 3*w[i])
+		}
+	}
+}
+
+func TestVecLenMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Add(NewVec(3), NewVec(4))
+}
+
+func TestDotSumNorm(t *testing.T) {
+	a := Vec{1, 2, 3}
+	b := Vec{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Sum(a); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	if got := Norm2(Vec{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := AbsMax(Vec{-7, 2, 6}); got != 7 {
+		t.Errorf("AbsMax = %v, want 7", got)
+	}
+	if got := MaxIdx(Vec{1, 9, 3}); got != 1 {
+		t.Errorf("MaxIdx = %v, want 1", got)
+	}
+	if got := MaxIdx(nil); got != -1 {
+		t.Errorf("MaxIdx(nil) = %v, want -1", got)
+	}
+}
+
+func TestSignedMeans(t *testing.T) {
+	v := Vec{1, -2, 3, -4, 0}
+	mp, mn, np := SignedMeans(v)
+	if np != 3 {
+		t.Errorf("nPos = %d, want 3", np)
+	}
+	if !almostEq(float64(mp), 4.0/3, 1e-6) {
+		t.Errorf("muPos = %v, want 4/3", mp)
+	}
+	if !almostEq(float64(mn), 3, 1e-6) {
+		t.Errorf("muNeg = %v, want 3", mn)
+	}
+}
+
+func TestSignedMeansEdge(t *testing.T) {
+	mp, mn, np := SignedMeans(Vec{1, 2})
+	if mn != 0 || np != 2 || !almostEq(float64(mp), 1.5, 1e-6) {
+		t.Errorf("all-positive: got %v %v %d", mp, mn, np)
+	}
+	mp, mn, np = SignedMeans(Vec{-1, -3})
+	if mp != 0 || np != 0 || !almostEq(float64(mn), 2, 1e-6) {
+		t.Errorf("all-negative: got %v %v %d", mp, mn, np)
+	}
+	mp, mn, np = SignedMeans(nil)
+	if mp != 0 || mn != 0 || np != 0 {
+		t.Errorf("empty: got %v %v %d", mp, mn, np)
+	}
+}
+
+// Property: ParSignedMeans agrees with the serial single-pass version.
+func TestParSignedMeansMatchesSerial(t *testing.T) {
+	r := NewRNG(3)
+	v := make(Vec, 300000)
+	r.NormVec(v, 0.1, 1.5)
+	mp1, mn1, np1 := SignedMeans(v)
+	mp2, mn2, np2 := ParSignedMeans(v)
+	if np1 != np2 {
+		t.Fatalf("nPos mismatch: %d vs %d", np1, np2)
+	}
+	if !almostEq(float64(mp1), float64(mp2), 1e-5) || !almostEq(float64(mn1), float64(mn2), 1e-5) {
+		t.Fatalf("means mismatch: (%v,%v) vs (%v,%v)", mp1, mn1, mp2, mn2)
+	}
+}
+
+// Property-based: the signed means bracket the data correctly for random
+// vectors: every non-negative element contributes to muPos etc.
+func TestSignedMeansProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		v := make(Vec, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(float64(x)) && !math.IsInf(float64(x), 0) {
+				// Keep magnitudes sane to avoid float32 overflow artifacts.
+				if x > 1e6 {
+					x = 1e6
+				}
+				if x < -1e6 {
+					x = -1e6
+				}
+				v = append(v, x)
+			}
+		}
+		mp, mn, np := SignedMeans(v)
+		var sp, sn float64
+		cp := 0
+		for _, x := range v {
+			if x >= 0 {
+				sp += float64(x)
+				cp++
+			} else {
+				sn += float64(-x)
+			}
+		}
+		if cp != np {
+			return false
+		}
+		wantP := 0.0
+		if cp > 0 {
+			wantP = sp / float64(cp)
+		}
+		wantN := 0.0
+		if len(v)-cp > 0 {
+			wantN = sn / float64(len(v)-cp)
+		}
+		return almostEq(float64(mp), wantP, 1e-4) && almostEq(float64(mn), wantN, 1e-4) && mp >= 0 && mn >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasNaNOrInf(t *testing.T) {
+	if HasNaNOrInf(Vec{1, 2, 3}) {
+		t.Error("false positive")
+	}
+	if !HasNaNOrInf(Vec{1, float32(math.NaN()), 3}) {
+		t.Error("missed NaN")
+	}
+	if !HasNaNOrInf(Vec{float32(math.Inf(1))}) {
+		t.Error("missed +Inf")
+	}
+	if !HasNaNOrInf(Vec{float32(math.Inf(-1))}) {
+		t.Error("missed -Inf")
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	n := 100001
+	marks := make([]int32, n)
+	ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			marks[i]++
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d visited %d times", i, m)
+		}
+	}
+	// Zero and negative lengths are no-ops.
+	ParallelFor(0, func(lo, hi int) { t.Error("body called for n=0") })
+	ParallelFor(-5, func(lo, hi int) { t.Error("body called for n<0") })
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := Vec{1, 2, 3}
+	c := Clone(v)
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(42)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("split streams collide: %d/1000", same)
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestZipfInvalidNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipf(NewRNG(1), 0, 1)
+}
+
+func TestUniformVecRange(t *testing.T) {
+	r := NewRNG(8)
+	v := make(Vec, 1000)
+	r.UniformVec(v, -2, 3)
+	for _, x := range v {
+		if x < -2 || x >= 3 {
+			t.Fatalf("out of range: %v", x)
+		}
+	}
+}
