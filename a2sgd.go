@@ -144,6 +144,26 @@ type TrainConfig struct {
 	// LRScale multiplies the Table-1 learning-rate schedule (reduced-scale
 	// calibration; 0 = default).
 	LRScale float64
+	// BucketBytes partitions the gradient into layer-granular buckets of at
+	// most this many bytes, each with its own algorithm instance (per-bucket
+	// error feedback, seeds and A2SGD means) and its own collective. 0 keeps
+	// the whole-model single bucket.
+	BucketBytes int
+	// Overlap pipelines bucket i's synchronization behind the gather+encode
+	// of bucket i+1 (DDP-style comm/compute overlap). Results are bitwise
+	// identical to the synchronous path for the same bucket plan.
+	Overlap bool
+	// Allreduce selects the dense/scalar allreduce algorithm: "auto"
+	// (default), "ring", or "recdouble".
+	Allreduce string
+}
+
+// allreduceByName maps TrainConfig.Allreduce to the comm algorithm.
+var allreduceByName = map[string]comm.AllreduceAlgorithm{
+	"":          comm.AlgoAuto,
+	"auto":      comm.AlgoAuto,
+	"ring":      comm.AlgoRing,
+	"recdouble": comm.AlgoRecursiveDoubling,
 }
 
 // Train runs data-parallel training with the named algorithm and returns
@@ -158,6 +178,10 @@ func Train(tc TrainConfig) (*Result, error) {
 	if _, ok := builders[tc.Algorithm]; !ok {
 		return nil, fmt.Errorf("a2sgd: unknown algorithm %q (have %v)", tc.Algorithm, Algorithms())
 	}
+	allreduce, ok := allreduceByName[tc.Allreduce]
+	if !ok {
+		return nil, fmt.Errorf("a2sgd: unknown allreduce %q (have auto, ring, recdouble)", tc.Allreduce)
+	}
 	cfg := cluster.Config{
 		Workers:        tc.Workers,
 		Family:         tc.Family,
@@ -168,10 +192,15 @@ func Train(tc TrainConfig) (*Result, error) {
 		Momentum:       tc.Momentum,
 		HistIters:      tc.HistIters,
 		LRScale:        tc.LRScale,
-		NewAlgorithm: func(rank, n int) compress.Algorithm {
+		BucketBytes:    tc.BucketBytes,
+		Overlap:        tc.Overlap,
+		NewBucketAlgorithm: func(rank, bucket, n int) compress.Algorithm {
 			o := compress.DefaultOptions(n)
-			o.Seed = tc.Seed*31 + uint64(rank) + 1
-			o.Allreduce = comm.AlgoAuto
+			// Bucket 0 keeps the historical per-rank seed so the default
+			// single-bucket run reproduces pre-bucketing results exactly;
+			// later buckets decorrelate their stochastic-compression RNG.
+			o.Seed = tc.Seed*31 + uint64(rank) + 1 + uint64(bucket)*1_000_003
+			o.Allreduce = allreduce
 			if tc.Density > 0 {
 				o.Density = tc.Density
 			}

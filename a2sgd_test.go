@@ -134,3 +134,45 @@ func TestFamiliesAndParamCounts(t *testing.T) {
 		t.Errorf("lstm params %d %v", n, err)
 	}
 }
+
+func TestTrainFacadeBucketedOverlap(t *testing.T) {
+	base := TrainConfig{
+		Family: "fnn3", Algorithm: "a2sgd", Workers: 2,
+		Epochs: 2, StepsPerEpoch: 4, BatchPerWorker: 8, Seed: 5,
+	}
+	over := base
+	over.BucketBytes = 8192 // 4 layer-granular buckets on reduced fnn3
+	over.Overlap = true
+	rs, err := Train(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Train(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Buckets != 1 || ro.Buckets < 4 {
+		t.Fatalf("bucket counts %d/%d, want 1 and >=4", rs.Buckets, ro.Buckets)
+	}
+	// Overlapped pipeline vs the same plan run synchronously: bit-identical.
+	syncSame := over
+	syncSame.Overlap = false
+	rss, err := Train(syncSame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rss.FinalMetric() != ro.FinalMetric() {
+		t.Errorf("overlap changed the result: %v vs %v", ro.FinalMetric(), rss.FinalMetric())
+	}
+	// Per-bucket O(1) traffic and the overlap-aware price law are populated.
+	if want := int64(8 * ro.Buckets); ro.PayloadBytes != want {
+		t.Errorf("payload %d, want %d", ro.PayloadBytes, want)
+	}
+	f := IB100()
+	if ro.ModeledIterSecOverlap(f) > ro.ModeledIterSecSerial(f) {
+		t.Error("overlap law must not exceed the serial law")
+	}
+	if _, err := Train(TrainConfig{Family: "fnn3", Allreduce: "bogus"}); err == nil {
+		t.Error("bad allreduce name must error")
+	}
+}

@@ -37,13 +37,14 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|all")
+	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|all")
 	maxN := flag.Int("maxn", 25_000_000, "largest parameter count for fig2")
 	scale := flag.Int("scale", 10, "divide paper parameter counts by this for fig4/fig5/table2 (1 = full)")
 	workersFlag := flag.String("workers", "2,4,8,16", "worker counts for fig3/fig4/fig5")
 	epochs := flag.Int("epochs", 8, "epochs for fig1/fig3")
 	steps := flag.Int("steps", 12, "steps per epoch for fig3")
 	fabricName := flag.String("fabric", "ib100", "network model: ib100|tcp10g")
+	bucketsFlag := flag.String("buckets", "0,2048,8192,32768", "bucket byte budgets for the bucket sweep (0 = whole model)")
 	flag.Parse()
 
 	workers, err := parseInts(*workersFlag)
@@ -129,6 +130,21 @@ func main() {
 			wk = workers[0]
 		}
 		_, err := bench.Ablation(w, wk, *epochs)
+		return err
+	})
+	run("buckets", func() error {
+		bucketBytes, err := parseInts(*bucketsFlag)
+		if err != nil {
+			return fmt.Errorf("bad -buckets: %w", err)
+		}
+		wk := 4
+		if len(workers) > 0 {
+			wk = workers[0]
+		}
+		_, err = bench.BucketSweep(w, bench.BucketSweepConfig{
+			Workers: wk, Epochs: *epochs, Steps: *steps,
+			BucketBytes: bucketBytes, Fabric: fabric,
+		})
 		return err
 	})
 }

@@ -27,13 +27,16 @@ func main() {
 	momentum := flag.Float64("momentum", 0.9, "SGD momentum")
 	density := flag.Float64("density", 0, "sparsifier density override (0 = paper default 0.001)")
 	transport := flag.String("transport", "inproc", "worker fabric: inproc|tcp")
+	bucketBytes := flag.Int("bucket-bytes", 0, "gradient bucket budget in bytes (0 = whole model)")
+	overlap := flag.Bool("overlap", false, "pipeline per-bucket sync behind encode")
 	flag.Parse()
 
 	res, err := a2sgd.Train(a2sgd.TrainConfig{
 		Family: *family, Algorithm: *algo, Workers: *workers,
 		Epochs: *epochs, StepsPerEpoch: *steps, BatchPerWorker: *batch,
 		Seed: *seed, Momentum: float32(*momentum), Density: *density,
-		TCP: *transport == "tcp",
+		TCP:         *transport == "tcp",
+		BucketBytes: *bucketBytes, Overlap: *overlap,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
@@ -44,8 +47,8 @@ func main() {
 	if res.Metric == models.MetricPerplexity {
 		metric = "perplexity"
 	}
-	fmt.Printf("model=%s algo=%s workers=%d params=%d\n",
-		res.Family, res.Algorithm, res.Workers, res.NumParams)
+	fmt.Printf("model=%s algo=%s workers=%d params=%d buckets=%d overlap=%v\n",
+		res.Family, res.Algorithm, res.Workers, res.NumParams, res.Buckets, res.Overlap)
 	fmt.Printf("%-6s %-12s %-12s %-12s %s\n", "epoch", "train-loss", "eval-loss", metric, "lr")
 	for _, e := range res.Epochs {
 		fmt.Printf("%-6d %-12.4f %-12.4f %-12.4f %.5f\n", e.Epoch, e.Loss, e.EvalLoss, e.Metric, e.LR)

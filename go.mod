@@ -1,0 +1,3 @@
+module a2sgd
+
+go 1.24

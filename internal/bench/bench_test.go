@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 
@@ -227,5 +228,47 @@ func TestAblationRunner(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "Ablations") {
 		t.Error("missing header")
+	}
+}
+
+func TestBucketSweepQuick(t *testing.T) {
+	points, err := BucketSweep(io.Discard, BucketSweepConfig{
+		Workers: 2, Epochs: 1, Steps: 4,
+		BucketBytes: []int{0, 8192},
+		Algorithms:  []string{"dense", "a2sgd"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points %d, want 4", len(points))
+	}
+	for _, p := range points {
+		if p.BucketBytes == 0 && p.Buckets != 1 {
+			t.Errorf("%s: whole-model run has %d buckets", p.Algorithm, p.Buckets)
+		}
+		if p.BucketBytes == 8192 && p.Buckets < 4 {
+			t.Errorf("%s: 8KiB budget gave %d buckets, want >=4", p.Algorithm, p.Buckets)
+		}
+		if p.ModelOverlapSec > p.ModelSerialSec {
+			t.Errorf("%s/%dB: overlap price %.3e exceeds serial %.3e",
+				p.Algorithm, p.BucketBytes, p.ModelOverlapSec, p.ModelSerialSec)
+		}
+		if p.HiddenSyncSec < 0 {
+			t.Errorf("%s/%dB: negative hidden sync %.3e", p.Algorithm, p.BucketBytes, p.HiddenSyncSec)
+		}
+		if p.StepSecSync <= 0 || p.StepSecOverlap <= 0 {
+			t.Errorf("%s/%dB: non-positive step times %+v", p.Algorithm, p.BucketBytes, p)
+		}
+	}
+	// The paper's algorithm must hide sync behind encode for some budget.
+	hidden := false
+	for _, p := range points {
+		if p.Algorithm == "a2sgd" && p.Buckets > 1 && p.HiddenSyncSec > 0 {
+			hidden = true
+		}
+	}
+	if !hidden {
+		t.Error("a2sgd with >1 bucket hides no sync time")
 	}
 }

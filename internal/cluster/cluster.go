@@ -35,8 +35,24 @@ type Config struct {
 	// Family selects the model family ("fnn3", "vgg16", "resnet20", "lstm").
 	Family string
 	// NewAlgorithm builds the per-worker synchronization algorithm. The
-	// parameter count is the model's NumParams.
+	// parameter count is the bucket's element count (the model's NumParams
+	// when BucketBytes is 0, i.e. a single whole-model bucket).
 	NewAlgorithm func(rank, numParams int) compress.Algorithm
+	// NewBucketAlgorithm, when non-nil, builds per-bucket algorithm
+	// instances with the bucket index available (so per-bucket stochastic
+	// seeds can differ). Nil falls back to NewAlgorithm(rank, n) per bucket.
+	NewBucketAlgorithm func(rank, bucket, numParams int) compress.Algorithm
+	// BucketBytes partitions the flattened gradient into layer-granular
+	// buckets of at most this many bytes (nn.PlanBuckets); each bucket gets
+	// its own algorithm instance and its own collective. 0 keeps the legacy
+	// whole-model single bucket.
+	BucketBytes int
+	// Overlap launches bucket i's exchange on the communicator's progress
+	// worker while bucket i+1 is still being gathered and encoded, hiding
+	// synchronization behind local compute. For a fixed seed and bucket
+	// plan the results are bitwise identical to the synchronous path (the
+	// collectives execute in the same order with the same operands).
+	Overlap bool
 	// Epochs and StepsPerEpoch bound the run.
 	Epochs, StepsPerEpoch int
 	// BatchPerWorker is each worker's shard of the global mini-batch.
@@ -85,7 +101,23 @@ type Result struct {
 	// Cost components, averaged per training step (rank 0).
 	AvgComputeSec float64 // forward + backward
 	AvgEncodeSec  float64 // compression compute (Figure 2's quantity)
-	AvgSyncSec    float64 // wall time actually spent in the collective
+	// AvgSyncSec is the wall time the step spent blocked on the collective:
+	// the full collective time on the synchronous path, only the *exposed*
+	// (non-hidden) time when Overlap pipelines sync behind encode.
+	AvgSyncSec float64
+	// AvgStepSec is the measured end-to-end wall time of one training step
+	// (compute + gather + encode + sync + scatter + optimizer).
+	AvgStepSec float64
+
+	// Buckets is the gradient-pipeline bucket count (1 = whole model), and
+	// BucketBounds its cumulative offsets (len Buckets+1). Overlap records
+	// whether exchanges were pipelined with gather/encode.
+	Buckets      int
+	BucketBounds []int
+	Overlap      bool
+	// BucketPayloadBytes is the analytic per-worker payload of each bucket,
+	// the input to the overlap-aware network model.
+	BucketPayloadBytes []int64
 
 	// BytesPerWorkerPerStep is the measured payload each worker sent per
 	// step (from the traffic counters).
@@ -109,10 +141,50 @@ func (r *Result) FinalMetric() float64 {
 	return r.Epochs[len(r.Epochs)-1].Metric
 }
 
-// ModeledIterSec prices one training iteration on the given fabric:
-// measured compute + measured compression + modelled synchronization.
+// ModeledIterSec prices one training iteration on the given fabric with the
+// serial (non-overlapped) cost law: measured compute + measured compression
+// + modelled synchronization of the full per-worker payload.
 func (r *Result) ModeledIterSec(f netsim.Fabric) float64 {
 	return r.AvgComputeSec + r.AvgEncodeSec + f.SyncTime(r.ExchangeKind, r.PayloadBytes, r.Workers)
+}
+
+// bucketCosts apportions the measured encode time across buckets by element
+// count (encode cost is O(bucket length) for every evaluated algorithm) and
+// returns it alongside the per-bucket payload bytes.
+func (r *Result) bucketCosts() (enc []float64, bytes []int64) {
+	bytes = r.BucketPayloadBytes
+	bounds := r.BucketBounds
+	if len(bytes) == 0 || len(bounds) != len(bytes)+1 {
+		bytes = []int64{r.PayloadBytes}
+		bounds = []int{0, r.NumParams}
+	}
+	enc = make([]float64, len(bytes))
+	if n := bounds[len(bounds)-1]; n > 0 {
+		for b := range enc {
+			enc[b] = r.AvgEncodeSec * float64(bounds[b+1]-bounds[b]) / float64(n)
+		}
+	}
+	return enc, bytes
+}
+
+// ModeledIterSecOverlap prices one iteration when per-bucket synchronization
+// is pipelined behind encode (the Overlap step loop): compute plus the
+// makespan of the encode→sync pipeline, in which bucket i's collective is
+// hidden behind the encoding of later buckets. With a single bucket it
+// degenerates to ModeledIterSec.
+func (r *Result) ModeledIterSecOverlap(f netsim.Fabric) float64 {
+	enc, bytes := r.bucketCosts()
+	return r.AvgComputeSec + f.PipelinedSyncTime(r.ExchangeKind, enc, bytes, r.Workers)
+}
+
+// ModeledIterSecSerial prices the same bucketed step without overlap: every
+// per-bucket encode and collective runs back to back. The gap to
+// ModeledIterSecOverlap is exactly the sync time the pipeline hides; the gap
+// to ModeledIterSec (one fused collective) is the per-bucket latency that
+// bucketing pays and fusion avoids.
+func (r *Result) ModeledIterSecSerial(f netsim.Fabric) float64 {
+	enc, bytes := r.bucketCosts()
+	return r.AvgComputeSec + f.SerialSyncTime(r.ExchangeKind, enc, bytes, r.Workers)
 }
 
 // Throughput returns modelled samples/second at the run's worker count.
@@ -150,8 +222,8 @@ func (c *Config) defaults() Config {
 // Train runs the distributed training loop and returns rank 0's view.
 func Train(c Config) (*Result, error) {
 	cfg := c.defaults()
-	if cfg.NewAlgorithm == nil {
-		return nil, fmt.Errorf("cluster: NewAlgorithm is required")
+	if cfg.NewAlgorithm == nil && cfg.NewBucketAlgorithm == nil {
+		return nil, fmt.Errorf("cluster: NewAlgorithm (or NewBucketAlgorithm) is required")
 	}
 
 	img, txt, err := data.ForFamily(cfg.Family, cfg.Seed)
@@ -173,7 +245,23 @@ func Train(c Config) (*Result, error) {
 			return err
 		}
 		n := model.NumParams()
-		alg := cfg.NewAlgorithm(rank, n)
+
+		// Partition the flattened gradient at layer granularity and build
+		// one algorithm instance per bucket (per-bucket error feedback,
+		// seeds and A2SGD means). BucketBytes 0 yields a single whole-model
+		// bucket whose instance — and arithmetic — matches the legacy path.
+		plan := nn.PlanBuckets(model.ParamSegments(), cfg.BucketBytes)
+		newBucketAlg := cfg.NewBucketAlgorithm
+		if newBucketAlg == nil {
+			newBucketAlg = func(rank, bucket, bn int) compress.Algorithm {
+				return cfg.NewAlgorithm(rank, bn)
+			}
+		}
+		bucketed := compress.NewBucketed(plan.Bounds(), func(b, bn int) compress.Algorithm {
+			return newBucketAlg(rank, b, bn)
+		})
+		bounds := bucketed.Bounds()
+		nb := bucketed.NumBuckets()
 
 		// Broadcast rank 0's weights so replicas start identical even if a
 		// model family ever gains non-deterministic init.
@@ -204,6 +292,7 @@ func Train(c Config) (*Result, error) {
 
 		sampleRNG := tensor.NewRNG(cfg.Seed*1000 + uint64(rank) + 1)
 		grad := make([]float32, n)
+		reqScratch := make([]comm.Request, 0, nb)
 
 		var evalSet models.Batch
 		if rank == 0 {
@@ -214,7 +303,7 @@ func Train(c Config) (*Result, error) {
 			}
 		}
 
-		var computeSec, encodeSec, syncSec float64
+		var computeSec, encodeSec, syncSec, stepSec float64
 		var epochs []EpochStats
 		var hists []*stats.Histogram
 		histAt := map[int]bool{}
@@ -240,26 +329,58 @@ func Train(c Config) (*Result, error) {
 				computeSec += time.Since(t0).Seconds()
 				lossSum += loss
 
-				model.GatherGrads(grad)
-				if tensor.HasNaNOrInf(grad) {
-					return fmt.Errorf("cluster: worker %d produced a non-finite gradient at step %d (diverged — lower the learning rate)", rank, globalStep)
-				}
-				if rank == 0 && histAt[globalStep] {
+				// Figure-1 capture needs the raw local gradient in one
+				// piece; on capture steps gather everything up front
+				// (values are identical — only the copy order differs).
+				histStep := rank == 0 && histAt[globalStep]
+				if histStep {
+					model.GatherGrads(grad)
 					h := stats.NewHistogram(-0.25, 0.25, 101)
 					h.AddSlice(grad)
 					hists = append(hists, h)
 				}
 
-				t1 := time.Now()
-				payload := alg.Encode(grad)
-				encodeSec += time.Since(t1).Seconds()
-				t2 := time.Now()
-				if err := alg.Exchange(payload, grad, cm); err != nil {
-					return err
+				// Bucketed gradient pipeline: gather bucket b, encode it,
+				// and either run its collective inline (synchronous) or
+				// post it to the communicator's progress worker so it
+				// proceeds while bucket b+1 is gathered and encoded.
+				reqs := reqScratch[:0]
+				for b := 0; b < nb; b++ {
+					lo, hi := bounds[b], bounds[b+1]
+					gb := grad[lo:hi]
+					if !histStep {
+						model.GatherGradsRange(grad, lo, hi)
+					}
+					if tensor.HasNaNOrInf(gb) {
+						_ = comm.WaitAll(reqs) // drain in-flight buckets first
+						return fmt.Errorf("cluster: worker %d produced a non-finite gradient at step %d (diverged — lower the learning rate)", rank, globalStep)
+					}
+					t1 := time.Now()
+					payload := bucketed.EncodeBucket(b, gb)
+					encodeSec += time.Since(t1).Seconds()
+					if cfg.Overlap {
+						reqs = append(reqs, cm.Async(func() error {
+							return bucketed.ExchangeBucket(b, payload, gb, cm)
+						}))
+					} else {
+						t2 := time.Now()
+						if err := bucketed.ExchangeBucket(b, payload, gb, cm); err != nil {
+							return err
+						}
+						syncSec += time.Since(t2).Seconds()
+					}
 				}
-				syncSec += time.Since(t2).Seconds()
+				if cfg.Overlap {
+					t2 := time.Now()
+					if err := comm.WaitAll(reqs); err != nil {
+						return err
+					}
+					syncSec += time.Since(t2).Seconds()
+					reqScratch = reqs
+				}
 				model.ScatterGrads(grad)
 				opt.Step(model.Params(), lr)
+				stepSec += time.Since(t0).Seconds()
 				globalStep++
 				steps++
 			}
@@ -292,16 +413,21 @@ func Train(c Config) (*Result, error) {
 
 		if rank == 0 {
 			resMu.Lock()
-			res.Algorithm = alg.Name()
+			res.Algorithm = bucketed.Name()
 			res.NumParams = n
 			res.Metric = model.Metric()
 			res.Epochs = epochs
 			res.AvgComputeSec = computeSec / float64(steps)
 			res.AvgEncodeSec = encodeSec / float64(steps)
 			res.AvgSyncSec = syncSec / float64(steps)
+			res.AvgStepSec = stepSec / float64(steps)
 			res.BytesPerWorkerPerStep = float64(tr.BytesSent) / float64(steps)
-			res.PayloadBytes = alg.PayloadBytes(n)
-			res.ExchangeKind = alg.ExchangeKind()
+			res.PayloadBytes = bucketed.PayloadBytes(n)
+			res.ExchangeKind = bucketed.ExchangeKind()
+			res.Buckets = nb
+			res.BucketBounds = append([]int(nil), bounds...)
+			res.Overlap = cfg.Overlap
+			res.BucketPayloadBytes = bucketed.PayloadBytesPerBucket()
 			res.Histograms = hists
 			resMu.Unlock()
 		}

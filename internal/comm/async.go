@@ -1,0 +1,100 @@
+package comm
+
+// Nonblocking collectives. Every Communicator owns a lazily-started progress
+// worker (one goroutine, mirroring an MPI progress thread) that executes
+// posted operations strictly in posting order. Overlap is therefore
+// communication-vs-computation: the owner goroutine keeps computing (e.g.
+// gathering and encoding the next gradient bucket) while the worker drives
+// the fabric. Operations never run concurrently with each other, so the
+// collectives' tag space needs no per-operation contexts and the execution
+// order — hence the floating-point reduction order — is identical to issuing
+// the same operations synchronously.
+//
+// Contract: all ranks must post the same sequence of collectives, and the
+// owner must not issue blocking collectives on the communicator while posted
+// operations are outstanding (Wait first). Both transports (the in-process
+// channel fabric and tcpnet) are supported — the worker sits above the
+// Transport interface.
+
+// Request is the handle of one posted nonblocking operation.
+type Request interface {
+	// Wait blocks until the operation completes and returns its error.
+	// Wait is idempotent: further calls return the same error immediately.
+	Wait() error
+}
+
+type asyncReq struct {
+	done chan struct{}
+	err  error
+}
+
+func (r *asyncReq) Wait() error {
+	<-r.done
+	return r.err
+}
+
+type asyncJob struct {
+	f   func() error
+	req *asyncReq
+}
+
+// Async posts f for execution on the communicator's progress worker and
+// returns its Request. Posted functions run strictly in posting order, one
+// at a time; the worker parks (exits) when the queue drains, so an idle
+// communicator holds no goroutine.
+func (c *Communicator) Async(f func() error) Request {
+	r := &asyncReq{done: make(chan struct{})}
+	c.asyncMu.Lock()
+	c.asyncQueue = append(c.asyncQueue, asyncJob{f: f, req: r})
+	if !c.asyncRunning {
+		c.asyncRunning = true
+		go c.asyncLoop()
+	}
+	c.asyncMu.Unlock()
+	return r
+}
+
+func (c *Communicator) asyncLoop() {
+	for {
+		c.asyncMu.Lock()
+		if len(c.asyncQueue) == 0 {
+			c.asyncRunning = false
+			c.asyncMu.Unlock()
+			return
+		}
+		j := c.asyncQueue[0]
+		c.asyncQueue = c.asyncQueue[1:]
+		c.asyncMu.Unlock()
+		j.req.err = j.f()
+		close(j.req.done)
+	}
+}
+
+// IAllreduceMean is the nonblocking AllreduceMean: it returns immediately;
+// v must not be touched until the returned Request's Wait succeeds, at which
+// point v holds the across-rank mean.
+func (c *Communicator) IAllreduceMean(v []float32, algo AllreduceAlgorithm) Request {
+	return c.Async(func() error { return c.AllreduceMean(v, algo) })
+}
+
+// IAllreduceSum is the nonblocking AllreduceSum.
+func (c *Communicator) IAllreduceSum(v []float32, algo AllreduceAlgorithm) Request {
+	return c.Async(func() error { return c.AllreduceSum(v, algo) })
+}
+
+// IAllgather is the nonblocking Allgather: neither in nor out may be touched
+// until Wait succeeds.
+func (c *Communicator) IAllgather(in, out []float32) Request {
+	return c.Async(func() error { return c.Allgather(in, out) })
+}
+
+// WaitAll waits on every request and returns the first error.
+func WaitAll(reqs []Request) error {
+	var first error
+	for _, r := range reqs {
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 )
 
@@ -54,14 +55,21 @@ type Traffic struct {
 }
 
 // Communicator couples a Transport with traffic accounting and provides the
-// collectives. It is not safe for concurrent use by multiple goroutines; the
-// intended model is one Communicator per worker goroutine, mirroring MPI.
+// collectives. The intended model is one Communicator per worker goroutine,
+// mirroring MPI: blocking collectives are not safe for concurrent use, but
+// the owner may overlap computation with communication through the
+// nonblocking operations (Async/IAllreduceMean/IAllgather), which execute
+// serially on the communicator's progress worker.
 type Communicator struct {
 	t         Transport
 	bytesSent atomic.Int64
 	bytesRecv atomic.Int64
 	msgsSent  atomic.Int64
 	msgsRecv  atomic.Int64
+
+	asyncMu      sync.Mutex
+	asyncQueue   []asyncJob
+	asyncRunning bool
 }
 
 // NewCommunicator wraps a transport.

@@ -293,3 +293,45 @@ func TestRunGroupHelperPropagatesError(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+// TestNonblockingCollectivesOverTCP runs the nonblocking allreduce/allgather
+// path over real loopback sockets: the progress worker sits above the
+// Transport interface, so the same pipeline must work on tcpnet unchanged.
+func TestNonblockingCollectivesOverTCP(t *testing.T) {
+	const p, n = 3, 300
+	err := RunGroup(p, func(c *comm.Communicator) error {
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = float32(c.Rank()*n + i)
+		}
+		in := []float32{float32(c.Rank() + 1)}
+		out := make([]float32, p)
+		r1 := c.IAllreduceMean(v, comm.AlgoAuto)
+		r2 := c.IAllgather(in, out)
+		if err := r1.Wait(); err != nil {
+			return err
+		}
+		if err := r2.Wait(); err != nil {
+			return err
+		}
+		for i := range v {
+			want := float32(0)
+			for r := 0; r < p; r++ {
+				want += float32(r*n + i)
+			}
+			want /= p
+			if v[i] != want {
+				return fmt.Errorf("rank %d: v[%d]=%v want %v", c.Rank(), i, v[i], want)
+			}
+		}
+		for r := 0; r < p; r++ {
+			if out[r] != float32(r+1) {
+				return fmt.Errorf("rank %d: out[%d]=%v", c.Rank(), r, out[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

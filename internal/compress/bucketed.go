@@ -1,0 +1,137 @@
+package compress
+
+import (
+	"fmt"
+
+	"a2sgd/internal/comm"
+	"a2sgd/internal/netsim"
+)
+
+// Bucketed composes per-bucket instances of one algorithm over a contiguous
+// partition of the gradient vector (a nn.BucketPlan's Bounds). Each bucket
+// owns a full algorithm instance — error-feedback residuals, QSGD seeds and
+// A2SGD two-level means are all per-bucket, sized to the bucket's length —
+// so buckets are independent and their synchronization can be pipelined: the
+// training runtime launches bucket i's exchange while bucket i+1 is still
+// being gathered and encoded.
+//
+// Bucketed also implements Algorithm itself (encode/exchange every bucket in
+// order), so it drops into any code path that expects a whole-vector
+// algorithm; traffic and compute accounting are aggregated across buckets.
+type Bucketed struct {
+	algs     []Algorithm
+	bounds   []int     // len(algs)+1 cumulative offsets; bounds[len] = n
+	payloads []Payload // per-bucket payloads of the last whole-vector Encode
+}
+
+// NewBucketed builds one algorithm instance per bucket. bounds holds the
+// cumulative bucket offsets (len = buckets+1, bounds[0] = 0, strictly
+// derived from a layer-granular plan); build constructs the instance for
+// bucket b of the given element count.
+func NewBucketed(bounds []int, build func(bucket, n int) Algorithm) *Bucketed {
+	if len(bounds) < 2 || bounds[0] != 0 {
+		panic(fmt.Sprintf("compress: invalid bucket bounds %v", bounds))
+	}
+	k := len(bounds) - 1
+	algs := make([]Algorithm, k)
+	for b := 0; b < k; b++ {
+		if bounds[b+1] < bounds[b] {
+			panic(fmt.Sprintf("compress: decreasing bucket bounds %v", bounds))
+		}
+		algs[b] = build(b, bounds[b+1]-bounds[b])
+	}
+	return &Bucketed{algs: algs, bounds: bounds, payloads: make([]Payload, k)}
+}
+
+// NumBuckets returns the bucket count.
+func (bk *Bucketed) NumBuckets() int { return len(bk.algs) }
+
+// Bounds returns the cumulative bucket offsets (not to be mutated).
+func (bk *Bucketed) Bounds() []int { return bk.bounds }
+
+// BucketSlice returns bucket b's view of the full flattened vector g.
+func (bk *Bucketed) BucketSlice(b int, g []float32) []float32 {
+	return g[bk.bounds[b]:bk.bounds[b+1]]
+}
+
+// EncodeBucket runs bucket b's local compression on its slice gb (which must
+// be BucketSlice(b, g)).
+func (bk *Bucketed) EncodeBucket(b int, gb []float32) Payload {
+	return bk.algs[b].Encode(gb)
+}
+
+// ExchangeBucket runs bucket b's collective synchronization, writing the
+// synchronized gradient into gb.
+func (bk *Bucketed) ExchangeBucket(b int, p Payload, gb []float32, c *comm.Communicator) error {
+	return bk.algs[b].Exchange(p, gb, c)
+}
+
+// PayloadBytesPerBucket returns the analytic per-worker payload of each
+// bucket — the per-bucket byte counts the overlap-aware network model prices.
+func (bk *Bucketed) PayloadBytesPerBucket() []int64 {
+	out := make([]int64, len(bk.algs))
+	for b, a := range bk.algs {
+		out[b] = a.PayloadBytes(bk.bounds[b+1] - bk.bounds[b])
+	}
+	return out
+}
+
+// Name implements Algorithm: the inner name, suffixed with the bucket count
+// when the partition is non-trivial.
+func (bk *Bucketed) Name() string {
+	if len(bk.algs) == 1 {
+		return bk.algs[0].Name()
+	}
+	return fmt.Sprintf("%s+bucketed[%d]", bk.algs[0].Name(), len(bk.algs))
+}
+
+// Encode implements Algorithm: every bucket is encoded in order. The
+// returned payload aggregates the analytic bits across buckets; the packed
+// per-bucket payloads stay internal and are consumed by the next Exchange
+// (pair Encode/Exchange as the Algorithm contract requires).
+func (bk *Bucketed) Encode(g []float32) Payload {
+	if len(g) != bk.bounds[len(bk.bounds)-1] {
+		panic(fmt.Sprintf("compress: Bucketed.Encode length %d, plan covers %d",
+			len(g), bk.bounds[len(bk.bounds)-1]))
+	}
+	var bits int64
+	for b := range bk.algs {
+		bk.payloads[b] = bk.algs[b].Encode(bk.BucketSlice(b, g))
+		bits += bk.payloads[b].Bits
+	}
+	return Payload{Bits: bits}
+}
+
+// Exchange implements Algorithm: every bucket's collective runs in order,
+// using the payloads of the immediately preceding Encode.
+func (bk *Bucketed) Exchange(_ Payload, g []float32, c *comm.Communicator) error {
+	for b := range bk.algs {
+		if err := bk.algs[b].Exchange(bk.payloads[b], bk.BucketSlice(b, g), c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExchangeKind implements Algorithm (all buckets share the inner kind).
+func (bk *Bucketed) ExchangeKind() netsim.ExchangeKind { return bk.algs[0].ExchangeKind() }
+
+// PayloadBytes implements Algorithm: the sum of per-bucket payloads. The
+// bucket plan fixes the partition, so n is ignored — unlike the inner
+// algorithms, a Bucketed instance cannot price hypothetical model sizes.
+func (bk *Bucketed) PayloadBytes(n int) int64 {
+	var total int64
+	for _, b := range bk.PayloadBytesPerBucket() {
+		total += b
+	}
+	return total
+}
+
+// Reset implements Algorithm.
+func (bk *Bucketed) Reset() {
+	for _, a := range bk.algs {
+		a.Reset()
+	}
+}
+
+var _ Algorithm = (*Bucketed)(nil)

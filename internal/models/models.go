@@ -68,6 +68,12 @@ type Model interface {
 	// GatherGrads/ScatterGrads move the flattened gradient vector.
 	GatherGrads(dst []float32)
 	ScatterGrads(src []float32)
+	// GatherGradsRange fills dst[lo:hi] with that slice of the flattened
+	// gradient — the per-bucket gather of the overlapped pipeline.
+	GatherGradsRange(dst []float32, lo, hi int)
+	// ParamSegments reports the per-tensor boundaries of the flattened
+	// vector, in GatherGrads order, for layer-granular bucket planning.
+	ParamSegments() []nn.Segment
 	// GatherParams/ScatterParams move the flattened weights.
 	GatherParams(dst []float32)
 	ScatterParams(src []float32)
@@ -100,8 +106,12 @@ func (c *classifier) Eval(b Batch) (float64, float64) {
 	return loss, nn.Accuracy(logits, b.Labels)
 }
 
-func (c *classifier) GatherGrads(dst []float32)   { c.net.GatherGrads(dst) }
-func (c *classifier) ScatterGrads(src []float32)  { c.net.ScatterGrads(src) }
+func (c *classifier) GatherGrads(dst []float32)  { c.net.GatherGrads(dst) }
+func (c *classifier) ScatterGrads(src []float32) { c.net.ScatterGrads(src) }
+func (c *classifier) GatherGradsRange(dst []float32, lo, hi int) {
+	c.net.GatherGradsRange(dst, lo, hi)
+}
+func (c *classifier) ParamSegments() []nn.Segment { return c.net.ParamSegments() }
 func (c *classifier) GatherParams(dst []float32)  { c.net.GatherParams(dst) }
 func (c *classifier) ScatterParams(src []float32) { c.net.ScatterParams(src) }
 
@@ -344,6 +354,12 @@ func (l *lstmModel) ScatterGrads(src []float32) {
 		off += len(p.G)
 	}
 }
+
+func (l *lstmModel) GatherGradsRange(dst []float32, lo, hi int) {
+	nn.GatherRange(l.lm.Params(), dst, lo, hi)
+}
+
+func (l *lstmModel) ParamSegments() []nn.Segment { return nn.SegmentsOf(l.lm.Params()) }
 
 func (l *lstmModel) GatherParams(dst []float32) {
 	off := 0

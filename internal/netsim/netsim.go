@@ -115,3 +115,43 @@ func (f Fabric) SyncTime(kind ExchangeKind, bytesPerWorker int64, p int) float64
 		return f.Allreduce(bytesPerWorker, p)
 	}
 }
+
+// PipelinedSyncTime models the bucketed overlap pipeline: bucket b's encode
+// runs on the CPU strictly after bucket b-1's encode, and its collective
+// starts once both its encode and the previous bucket's collective have
+// finished (collectives execute one at a time, in order, like the
+// communicator's progress worker). The returned makespan covers first
+// encode start → last collective end:
+//
+//	encDone_b  = encDone_{b-1} + enc_b
+//	syncDone_b = max(encDone_b, syncDone_{b-1}) + sync_b
+//
+// Bucket b's sync is therefore hidden behind the encode of buckets b+1…;
+// with a single bucket the law degenerates to enc + sync (the serial
+// model). encSec and bucketBytes must be parallel slices, one per bucket.
+func (f Fabric) PipelinedSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64 {
+	var encDone, syncDone float64
+	for b, bytes := range bucketBytes {
+		if b < len(encSec) {
+			encDone += encSec[b]
+		}
+		if syncDone < encDone {
+			syncDone = encDone
+		}
+		syncDone += f.SyncTime(kind, bytes, p)
+	}
+	return syncDone
+}
+
+// SerialSyncTime is the non-overlapped counterpart of PipelinedSyncTime:
+// every encode and every collective runs back to back.
+func (f Fabric) SerialSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64 {
+	var t float64
+	for _, e := range encSec {
+		t += e
+	}
+	for _, bytes := range bucketBytes {
+		t += f.SyncTime(kind, bytes, p)
+	}
+	return t
+}

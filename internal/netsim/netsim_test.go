@@ -153,3 +153,32 @@ func TestCrossoverProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPipelinedSyncTime(t *testing.T) {
+	f := IB100()
+	enc := []float64{1e-5, 1e-5, 1e-5, 1e-5}
+	bytes := []int64{4096, 4096, 4096, 4096}
+	over := f.PipelinedSyncTime(ExchangeAllreduce, enc, bytes, 8)
+	serial := f.SerialSyncTime(ExchangeAllreduce, enc, bytes, 8)
+	if over >= serial {
+		t.Errorf("pipelined %.3e must undercut serial %.3e", over, serial)
+	}
+	// Lower bounds: the pipeline can never beat pure encode or pure sync.
+	var encSum, syncSum float64
+	for i := range enc {
+		encSum += enc[i]
+		syncSum += f.SyncTime(ExchangeAllreduce, bytes[i], 8)
+	}
+	if over < encSum || over < syncSum {
+		t.Errorf("pipelined %.3e below encode %.3e / sync %.3e floors", over, encSum, syncSum)
+	}
+	// Single bucket: pipelined degenerates to enc + sync (the serial law).
+	one := f.PipelinedSyncTime(ExchangeAllreduce, enc[:1], bytes[:1], 8)
+	if want := enc[0] + f.SyncTime(ExchangeAllreduce, bytes[0], 8); one != want {
+		t.Errorf("single bucket %.3e, want %.3e", one, want)
+	}
+	// No buckets: zero.
+	if z := f.PipelinedSyncTime(ExchangeAllreduce, nil, nil, 8); z != 0 {
+		t.Errorf("empty pipeline %v", z)
+	}
+}

@@ -104,6 +104,30 @@ func (n *Network) GatherGrads(dst []float32) {
 	}
 }
 
+// GatherGradsRange copies the flattened-gradient elements [lo, hi) into
+// dst[lo:hi] (dst has NumParams length). The bucketed pipeline uses it to
+// gather one bucket's gradients while an earlier bucket is synchronizing.
+func (n *Network) GatherGradsRange(dst []float32, lo, hi int) {
+	GatherRange(n.Params(), dst, lo, hi)
+}
+
+// GatherRange copies the flattened-gradient elements [lo, hi) of a parameter
+// list into dst[lo:hi] — the per-bucket slice of the GatherGrads layout.
+func GatherRange(ps []Param, dst []float32, lo, hi int) {
+	off := 0
+	for _, p := range ps {
+		if off >= hi {
+			return
+		}
+		end := off + len(p.G)
+		if end > lo {
+			s, e := max(off, lo), min(end, hi)
+			copy(dst[s:e], p.G[s-off:e-off])
+		}
+		off = end
+	}
+}
+
 // ScatterGrads writes the flattened gradient vector back into the layers.
 func (n *Network) ScatterGrads(src []float32) {
 	off := 0

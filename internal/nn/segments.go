@@ -1,0 +1,102 @@
+package nn
+
+import "fmt"
+
+// Segment locates one learnable tensor inside the flattened parameter
+// vector: the half-open range [Off, Off+Len). Segments are reported in
+// layer order, matching GatherGrads/ScatterGrads layout exactly, so a
+// bucketing scheme can partition the flattened vector at layer granularity.
+type Segment struct {
+	// Name is the owning tensor's name (layer + tensor role).
+	Name string
+	// Off is the segment's offset in the flattened vector.
+	Off int
+	// Len is the tensor's element count.
+	Len int
+}
+
+// SegmentsOf computes the flattened-vector segment boundaries of a parameter
+// list — the inverse index of the GatherGrads layout.
+func SegmentsOf(ps []Param) []Segment {
+	segs := make([]Segment, 0, len(ps))
+	off := 0
+	for _, p := range ps {
+		segs = append(segs, Segment{Name: p.Name, Off: off, Len: len(p.W)})
+		off += len(p.W)
+	}
+	return segs
+}
+
+// ParamSegments returns the per-tensor segment boundaries of the network's
+// flattened parameter vector, in layer order.
+func (n *Network) ParamSegments() []Segment { return SegmentsOf(n.Params()) }
+
+// Bucket is one contiguous partition of the flattened parameter vector,
+// covering whole segments only (a tensor is never split across buckets).
+type Bucket struct {
+	// Off and Len delimit the bucket's slice of the flattened vector.
+	Off, Len int
+	// Segments are the tensors the bucket covers, in layer order.
+	Segments []Segment
+}
+
+// BucketPlan partitions an n-element flattened parameter vector into
+// contiguous buckets at layer granularity. Buckets are in layer order and
+// tile [0, N) exactly.
+type BucketPlan struct {
+	// N is the total parameter count the plan covers.
+	N int
+	// Buckets are the partitions, in flattened-vector order.
+	Buckets []Bucket
+}
+
+// NumBuckets returns the bucket count (at least 1 for a non-empty model).
+func (p BucketPlan) NumBuckets() int { return len(p.Buckets) }
+
+// PlanBuckets packs segments greedily into buckets of at most bucketBytes
+// bytes (float32 elements, 4 bytes each), in layer order. A segment larger
+// than the budget gets a bucket of its own — tensors are never split, so a
+// bucket may exceed the budget when a single layer does. bucketBytes <= 0
+// requests a single bucket covering the whole vector (the synchronous
+// whole-model path). Zero-length segments attach to the current bucket and
+// never open a new one.
+func PlanBuckets(segs []Segment, bucketBytes int) BucketPlan {
+	n := 0
+	for i, s := range segs {
+		if s.Off != n {
+			panic(fmt.Sprintf("nn: segment %d (%s) offset %d, want %d — segments must tile the vector",
+				i, s.Name, s.Off, n))
+		}
+		n += s.Len
+	}
+	plan := BucketPlan{N: n}
+	if len(segs) == 0 {
+		return plan
+	}
+	budget := bucketBytes / 4 // elements per bucket
+	if bucketBytes <= 0 {
+		budget = n // single bucket
+	}
+	cur := Bucket{Off: 0}
+	for _, s := range segs {
+		if cur.Len > 0 && s.Len > 0 && cur.Len+s.Len > budget {
+			plan.Buckets = append(plan.Buckets, cur)
+			cur = Bucket{Off: s.Off}
+		}
+		cur.Segments = append(cur.Segments, s)
+		cur.Len += s.Len
+	}
+	plan.Buckets = append(plan.Buckets, cur)
+	return plan
+}
+
+// Bounds returns the len(Buckets)+1 cumulative offsets delimiting the
+// buckets: Bounds()[i] is bucket i's Off and Bounds()[last] is N.
+func (p BucketPlan) Bounds() []int {
+	b := make([]int, len(p.Buckets)+1)
+	for i, bk := range p.Buckets {
+		b[i] = bk.Off
+	}
+	b[len(p.Buckets)] = p.N
+	return b
+}

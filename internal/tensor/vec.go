@@ -176,8 +176,10 @@ func checkLen(a, b int) {
 
 // ---- parallel helpers ----
 
-// maxProcs bounds the fan-out of ParallelFor. Tests may lower it.
-var maxProcs = runtime.GOMAXPROCS(0)
+// maxProcs bounds the fan-out of the parallel helpers. It is read per call
+// (not captured at package init) so later runtime.GOMAXPROCS changes — and
+// tests that restrict parallelism — are honored.
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
 
 // grainSize is the minimum number of elements worth a goroutine.
 const grainSize = 1 << 14
@@ -189,7 +191,7 @@ func ParallelFor(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := maxProcs
+	workers := maxProcs()
 	if w := (n + grainSize - 1) / grainSize; w < workers {
 		workers = w
 	}
@@ -224,7 +226,7 @@ func ParSignedMeans(v Vec) (muPos, muNeg float32, nPos int) {
 		sp, sn float64
 		np     int
 	}
-	workers := maxProcs
+	workers := maxProcs()
 	parts := make([]part, workers)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers

@@ -2,8 +2,11 @@ package tensor
 
 import (
 	"math"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func almostEq(a, b, tol float64) bool {
@@ -330,5 +333,28 @@ func TestUniformVecRange(t *testing.T) {
 		if x < -2 || x >= 3 {
 			t.Fatalf("out of range: %v", x)
 		}
+	}
+}
+
+// TestParallelForHonorsRuntimeGOMAXPROCS: the worker bound must be read per
+// call, so restricting GOMAXPROCS after package init restricts the fan-out
+// (previously it was captured once at init and later changes were ignored).
+func TestParallelForHonorsRuntimeGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	var cur, peak atomic.Int32
+	ParallelFor(4*grainSize, func(lo, hi int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+	})
+	if got := peak.Load(); got > 1 {
+		t.Errorf("GOMAXPROCS(1) but %d bodies ran concurrently", got)
 	}
 }
