@@ -44,6 +44,14 @@ type Options = compress.Options
 // Fabric is an α–β network model used to price synchronization time.
 type Fabric = netsim.Fabric
 
+// TwoTier is a hierarchical network model: fast intra-node links, slow
+// inter-node links. It prices the Topology two-level schedules.
+type TwoTier = netsim.TwoTier
+
+// Pricer is the interface both Fabric and TwoTier satisfy; every
+// Result.ModeledIterSec* helper accepts either.
+type Pricer = netsim.Pricer
+
 // Result is a completed training run.
 type Result = cluster.Result
 
@@ -55,6 +63,14 @@ func IB100() Fabric { return netsim.IB100() }
 
 // TCP10G returns a commodity 10 Gbps Ethernet fabric model.
 func TCP10G() Fabric { return netsim.TCP10G() }
+
+// TwoTierIB100 returns the default hierarchical network model for nodes of
+// the given width: NVLink-class intra-node links, 100 Gbps InfiniBand
+// between nodes.
+func TwoTierIB100(ranksPerNode int) TwoTier { return netsim.TwoTierIB100(ranksPerNode) }
+
+// TwoTierTCP10G is TwoTierIB100 with commodity 10 GbE between nodes.
+func TwoTierTCP10G(ranksPerNode int) TwoTier { return netsim.TwoTierTCP10G(ranksPerNode) }
 
 // builders maps algorithm names to constructors.
 var builders = map[string]func(Options) Algorithm{
@@ -153,6 +169,13 @@ type TrainConfig struct {
 	// of bucket i+1 (DDP-style comm/compute overlap). Results are bitwise
 	// identical to the synchronous path for the same bucket plan.
 	Overlap bool
+	// Topology is the two-level hierarchy width in ranks per node: when > 1
+	// every collective runs intra-node first, then across node leaders,
+	// then broadcasts back (comm.SetTopology). Consecutive ranks share a
+	// node. 0 or 1 keeps the flat topology. Hierarchical runs are
+	// convergence-equivalent to flat runs (float tolerance, not bitwise)
+	// and deterministic for a fixed seed.
+	Topology int
 	// Allreduce selects the dense/scalar allreduce algorithm: "auto"
 	// (default), "ring", or "recdouble".
 	Allreduce string
@@ -194,6 +217,7 @@ func Train(tc TrainConfig) (*Result, error) {
 		LRScale:        tc.LRScale,
 		BucketBytes:    tc.BucketBytes,
 		Overlap:        tc.Overlap,
+		Topology:       tc.Topology,
 		NewBucketAlgorithm: func(rank, bucket, n int) compress.Algorithm {
 			o := compress.DefaultOptions(n)
 			// Bucket 0 keeps the historical per-rank seed so the default

@@ -7,6 +7,8 @@
 //	a2sgdbench -experiment fig3 -workers 2,4,8,16 -epochs 10
 //	a2sgdbench -experiment fig4 -scale 1       # paper-scale gradients
 //	a2sgdbench -experiment table2
+//	a2sgdbench -experiment buckets -buckets 0,2048,8192
+//	a2sgdbench -experiment hierarchy -workers 8 -topology 1,2,4
 package main
 
 import (
@@ -37,7 +39,7 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|all")
+	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|hierarchy|all")
 	maxN := flag.Int("maxn", 25_000_000, "largest parameter count for fig2")
 	scale := flag.Int("scale", 10, "divide paper parameter counts by this for fig4/fig5/table2 (1 = full)")
 	workersFlag := flag.String("workers", "2,4,8,16", "worker counts for fig3/fig4/fig5")
@@ -45,6 +47,8 @@ func main() {
 	steps := flag.Int("steps", 12, "steps per epoch for fig3")
 	fabricName := flag.String("fabric", "ib100", "network model: ib100|tcp10g")
 	bucketsFlag := flag.String("buckets", "0,2048,8192,32768", "bucket byte budgets for the bucket sweep (0 = whole model)")
+	topologyFlag := flag.String("topology", "1,2,4", "ranks-per-node widths for the hierarchy sweep (1 = flat)")
+	hierBucketsFlag := flag.String("hierbuckets", "0,8192", "bucket byte budgets for the hierarchy sweep")
 	flag.Parse()
 
 	workers, err := parseInts(*workersFlag)
@@ -144,6 +148,26 @@ func main() {
 		_, err = bench.BucketSweep(w, bench.BucketSweepConfig{
 			Workers: wk, Epochs: *epochs, Steps: *steps,
 			BucketBytes: bucketBytes, Fabric: fabric,
+		})
+		return err
+	})
+	run("hierarchy", func() error {
+		rpns, err := parseInts(*topologyFlag)
+		if err != nil {
+			return fmt.Errorf("bad -topology: %w", err)
+		}
+		bucketBytes, err := parseInts(*hierBucketsFlag)
+		if err != nil {
+			return fmt.Errorf("bad -hierbuckets: %w", err)
+		}
+		wk := 8
+		if len(workers) > 0 {
+			wk = workers[0]
+		}
+		_, err = bench.HierarchySweep(w, bench.HierarchySweepConfig{
+			Workers: wk, Epochs: *epochs, Steps: *steps,
+			RanksPerNode: rpns, BucketBytes: bucketBytes,
+			Inter: fabric,
 		})
 		return err
 	})

@@ -29,6 +29,7 @@ func main() {
 	transport := flag.String("transport", "inproc", "worker fabric: inproc|tcp")
 	bucketBytes := flag.Int("bucket-bytes", 0, "gradient bucket budget in bytes (0 = whole model)")
 	overlap := flag.Bool("overlap", false, "pipeline per-bucket sync behind encode")
+	topology := flag.Int("topology", 0, "two-level hierarchy width in ranks per node (0/1 = flat)")
 	flag.Parse()
 
 	res, err := a2sgd.Train(a2sgd.TrainConfig{
@@ -36,7 +37,7 @@ func main() {
 		Epochs: *epochs, StepsPerEpoch: *steps, BatchPerWorker: *batch,
 		Seed: *seed, Momentum: float32(*momentum), Density: *density,
 		TCP:         *transport == "tcp",
-		BucketBytes: *bucketBytes, Overlap: *overlap,
+		BucketBytes: *bucketBytes, Overlap: *overlap, Topology: *topology,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
@@ -47,8 +48,8 @@ func main() {
 	if res.Metric == models.MetricPerplexity {
 		metric = "perplexity"
 	}
-	fmt.Printf("model=%s algo=%s workers=%d params=%d buckets=%d overlap=%v\n",
-		res.Family, res.Algorithm, res.Workers, res.NumParams, res.Buckets, res.Overlap)
+	fmt.Printf("model=%s algo=%s workers=%d params=%d buckets=%d overlap=%v topology=%d\n",
+		res.Family, res.Algorithm, res.Workers, res.NumParams, res.Buckets, res.Overlap, res.Topology)
 	fmt.Printf("%-6s %-12s %-12s %-12s %s\n", "epoch", "train-loss", "eval-loss", metric, "lr")
 	for _, e := range res.Epochs {
 		fmt.Printf("%-6d %-12.4f %-12.4f %-12.4f %.5f\n", e.Epoch, e.Loss, e.EvalLoss, e.Metric, e.LR)
@@ -61,4 +62,9 @@ func main() {
 		res.PayloadBytes, res.BytesPerWorkerPerStep)
 	ib := a2sgd.IB100()
 	fmt.Printf("  modelled iter    : %8.3f ms on %s\n", res.ModeledIterSec(ib)*1000, ib.Name)
+	if res.Topology > 1 {
+		two := a2sgd.TwoTierIB100(res.Topology)
+		fmt.Printf("  modelled iter    : %8.3f ms on %s (ranks/node=%d)\n",
+			res.ModeledIterSec(two)*1000, two.Name, res.Topology)
+	}
 }

@@ -272,3 +272,45 @@ func TestBucketSweepQuick(t *testing.T) {
 		t.Error("a2sgd with >1 bucket hides no sync time")
 	}
 }
+
+func TestHierarchySweepQuick(t *testing.T) {
+	points, err := HierarchySweep(io.Discard, HierarchySweepConfig{
+		Workers: 4, Epochs: 1, Steps: 4,
+		RanksPerNode: []int{1, 2},
+		BucketBytes:  []int{0},
+		Algorithms:   []string{"dense", "a2sgd"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points %d, want 4", len(points))
+	}
+	byAlgo := map[string]map[int]HierarchyPoint{}
+	for _, p := range points {
+		if p.SyncFlatSec <= 0 || p.SyncHierSec <= 0 {
+			t.Errorf("%s rpn=%d: non-positive sync prices %+v", p.Algorithm, p.RanksPerNode, p)
+		}
+		if byAlgo[p.Algorithm] == nil {
+			byAlgo[p.Algorithm] = map[int]HierarchyPoint{}
+		}
+		byAlgo[p.Algorithm][p.RanksPerNode] = p
+	}
+	for algo, byRPN := range byAlgo {
+		flat, hier := byRPN[1], byRPN[2]
+		// rpn=1 must degenerate: the two-tier law prices it as flat.
+		if flat.SyncHierSec != flat.SyncFlatSec {
+			t.Errorf("%s: rpn=1 two-tier sync %.3e != flat sync %.3e",
+				algo, flat.SyncHierSec, flat.SyncFlatSec)
+		}
+		// Wider nodes must not cost more under the two-tier law.
+		if hier.SyncHierSec > hier.SyncFlatSec {
+			t.Errorf("%s: rpn=2 two-tier sync %.3e exceeds flat %.3e",
+				algo, hier.SyncHierSec, hier.SyncFlatSec)
+		}
+		// Hierarchical runs converge equivalently to flat ones.
+		if d := flat.FinalMetric - hier.FinalMetric; d > 0.05 || d < -0.05 {
+			t.Errorf("%s: flat metric %v vs hierarchical %v", algo, flat.FinalMetric, hier.FinalMetric)
+		}
+	}
+}

@@ -1,14 +1,3 @@
-// Package cluster is the data-parallel distributed training runtime: it
-// plays the role Horovod plays in the paper. P workers (goroutines with
-// MPI-style communicators) hold model replicas, compute local gradients on
-// their shard of each mini-batch, synchronize through a pluggable
-// gradient-synchronization algorithm (A2SGD or any baseline), and apply the
-// update with the Table 1 learning-rate policy.
-//
-// The runtime separates the three cost components the paper's evaluation
-// analyses: forward/backward compute (measured), compression compute
-// (measured — Figure 2's quantity), and synchronization traffic (counted
-// exactly, then priced by the α–β network model for Figures 4–5).
 package cluster
 
 import (
@@ -53,6 +42,16 @@ type Config struct {
 	// plan the results are bitwise identical to the synchronous path (the
 	// collectives execute in the same order with the same operands).
 	Overlap bool
+	// Topology is the two-level hierarchy width in ranks per node: when > 1,
+	// every collective (per-bucket exchanges, the setup broadcast and the
+	// final dense synchronization) runs the comm.SetTopology two-level
+	// schedule — intra-node reduce/gather, inter-node exchange among node
+	// leaders, intra-node broadcast. Consecutive ranks share a node. 0 or 1
+	// keeps the flat single-tier topology. The hierarchical reduction order
+	// differs from the flat one, so runs match flat runs to float tolerance
+	// (convergence-equivalent), not bitwise; for a fixed seed and topology
+	// they are fully deterministic.
+	Topology int
 	// Epochs and StepsPerEpoch bound the run.
 	Epochs, StepsPerEpoch int
 	// BatchPerWorker is each worker's shard of the global mini-batch.
@@ -115,12 +114,18 @@ type Result struct {
 	Buckets      int
 	BucketBounds []int
 	Overlap      bool
+	// Topology is the hierarchy width the run used (ranks per node after
+	// clamping; 0 = flat).
+	Topology int
 	// BucketPayloadBytes is the analytic per-worker payload of each bucket,
 	// the input to the overlap-aware network model.
 	BucketPayloadBytes []int64
 
-	// BytesPerWorkerPerStep is the measured payload each worker sent per
-	// step (from the traffic counters).
+	// BytesPerWorkerPerStep is the measured payload sent per worker per
+	// step, averaged across all ranks (from the traffic counters). The
+	// average matters under a two-level Topology, where node leaders send
+	// strictly more than other ranks; flat ring collectives are symmetric,
+	// so there every rank matches the average anyway.
 	BytesPerWorkerPerStep float64
 	// PayloadBytes is the analytic per-worker payload (Table 2 column 3).
 	PayloadBytes int64
@@ -141,10 +146,11 @@ func (r *Result) FinalMetric() float64 {
 	return r.Epochs[len(r.Epochs)-1].Metric
 }
 
-// ModeledIterSec prices one training iteration on the given fabric with the
-// serial (non-overlapped) cost law: measured compute + measured compression
+// ModeledIterSec prices one training iteration on the given network model
+// (a flat netsim.Fabric or a hierarchical netsim.TwoTier) with the serial
+// (non-overlapped) cost law: measured compute + measured compression
 // + modelled synchronization of the full per-worker payload.
-func (r *Result) ModeledIterSec(f netsim.Fabric) float64 {
+func (r *Result) ModeledIterSec(f netsim.Pricer) float64 {
 	return r.AvgComputeSec + r.AvgEncodeSec + f.SyncTime(r.ExchangeKind, r.PayloadBytes, r.Workers)
 }
 
@@ -172,7 +178,7 @@ func (r *Result) bucketCosts() (enc []float64, bytes []int64) {
 // makespan of the encode→sync pipeline, in which bucket i's collective is
 // hidden behind the encoding of later buckets. With a single bucket it
 // degenerates to ModeledIterSec.
-func (r *Result) ModeledIterSecOverlap(f netsim.Fabric) float64 {
+func (r *Result) ModeledIterSecOverlap(f netsim.Pricer) float64 {
 	enc, bytes := r.bucketCosts()
 	return r.AvgComputeSec + f.PipelinedSyncTime(r.ExchangeKind, enc, bytes, r.Workers)
 }
@@ -182,13 +188,13 @@ func (r *Result) ModeledIterSecOverlap(f netsim.Fabric) float64 {
 // ModeledIterSecOverlap is exactly the sync time the pipeline hides; the gap
 // to ModeledIterSec (one fused collective) is the per-bucket latency that
 // bucketing pays and fusion avoids.
-func (r *Result) ModeledIterSecSerial(f netsim.Fabric) float64 {
+func (r *Result) ModeledIterSecSerial(f netsim.Pricer) float64 {
 	enc, bytes := r.bucketCosts()
 	return r.AvgComputeSec + f.SerialSyncTime(r.ExchangeKind, enc, bytes, r.Workers)
 }
 
 // Throughput returns modelled samples/second at the run's worker count.
-func (r *Result) Throughput(f netsim.Fabric, batchPerWorker int) float64 {
+func (r *Result) Throughput(f netsim.Pricer, batchPerWorker int) float64 {
 	it := r.ModeledIterSec(f)
 	if it <= 0 {
 		return 0
@@ -233,6 +239,9 @@ func Train(c Config) (*Result, error) {
 
 	res := &Result{Family: cfg.Family, Workers: cfg.Workers, HistIters: cfg.HistIters}
 	var resMu sync.Mutex
+	// Per-rank sent bytes, collected after the last step (disjoint indices,
+	// read only after the group joins) and averaged into the result.
+	perRankSent := make([]int64, cfg.Workers)
 
 	runGroup := cfg.GroupRunner
 	if runGroup == nil {
@@ -240,6 +249,14 @@ func Train(c Config) (*Result, error) {
 	}
 	groupErr := runGroup(cfg.Workers, func(cm *comm.Communicator) error {
 		rank := cm.Rank()
+		// Two-level topology: partition the ranks into nodes so every
+		// collective below — per-bucket exchanges, the setup broadcast, the
+		// final dense sync — runs the hierarchical schedule.
+		if cfg.Topology > 1 {
+			if err := cm.SetTopology(cfg.Topology); err != nil {
+				return err
+			}
+		}
 		model, err := models.New(models.Config{Family: cfg.Family, Seed: cfg.Seed, Reduced: true})
 		if err != nil {
 			return err
@@ -395,7 +412,7 @@ func Train(c Config) (*Result, error) {
 
 		// Snapshot traffic before the final dense synchronization so the
 		// per-step accounting reflects the algorithm, not the epilogue.
-		tr := cm.Traffic()
+		perRankSent[rank] = cm.Traffic().BytesSent
 
 		// Algorithm 1, lines 9–10: one final dense synchronization so all
 		// replicas end identical (A2SGD replicas drift by design).
@@ -421,12 +438,12 @@ func Train(c Config) (*Result, error) {
 			res.AvgEncodeSec = encodeSec / float64(steps)
 			res.AvgSyncSec = syncSec / float64(steps)
 			res.AvgStepSec = stepSec / float64(steps)
-			res.BytesPerWorkerPerStep = float64(tr.BytesSent) / float64(steps)
 			res.PayloadBytes = bucketed.PayloadBytes(n)
 			res.ExchangeKind = bucketed.ExchangeKind()
 			res.Buckets = nb
 			res.BucketBounds = append([]int(nil), bounds...)
 			res.Overlap = cfg.Overlap
+			res.Topology = cm.Topology()
 			res.BucketPayloadBytes = bucketed.PayloadBytesPerBucket()
 			res.Histograms = hists
 			resMu.Unlock()
@@ -436,5 +453,11 @@ func Train(c Config) (*Result, error) {
 	if groupErr != nil {
 		return nil, groupErr
 	}
+	var sentSum int64
+	for _, b := range perRankSent {
+		sentSum += b
+	}
+	steps := cfg.Epochs * cfg.StepsPerEpoch
+	res.BytesPerWorkerPerStep = float64(sentSum) / float64(cfg.Workers) / float64(steps)
 	return res, nil
 }

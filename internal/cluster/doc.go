@@ -1,0 +1,36 @@
+// Package cluster is the data-parallel distributed training runtime: it
+// plays the role Horovod plays in the paper. P workers (goroutines with
+// MPI-style communicators) hold model replicas, compute local gradients on
+// their shard of each mini-batch, synchronize through a pluggable
+// gradient-synchronization algorithm (A2SGD or any baseline), and apply the
+// update with the Table 1 learning-rate policy.
+//
+// # Gradient pipeline
+//
+// Each step flows gather → bucket → encode → collective → decode → apply:
+// the flattened gradient is partitioned at layer granularity into buckets
+// of at most Config.BucketBytes (nn.PlanBuckets), every bucket owns a full
+// algorithm instance (compress.Bucketed — per-bucket error feedback, seeds
+// and A2SGD means), and with Config.Overlap bucket i's collective runs on
+// the communicator's progress worker while bucket i+1 is still being
+// gathered and encoded. Overlapped runs are bitwise identical to
+// synchronous ones for a fixed seed and bucket plan, because the progress
+// worker executes the same collectives in the same order.
+//
+// # Topology
+//
+// Config.Topology (ranks per node, > 1) switches every collective to the
+// two-level hierarchical schedule of comm.SetTopology: intra-node
+// reduce/gather, inter-node exchange among node leaders, intra-node
+// broadcast. Hierarchical runs are convergence-equivalent to flat runs
+// (float tolerance — the reduction order differs) and deterministic for a
+// fixed seed and topology. netsim.TwoTier prices the matching two-tier
+// fabric; every Result.ModeledIterSec* helper accepts it.
+//
+// # Cost accounting
+//
+// The runtime separates the three cost components the paper's evaluation
+// analyses: forward/backward compute (measured), compression compute
+// (measured — Figure 2's quantity), and synchronization traffic (counted
+// exactly, then priced by the α–β network model for Figures 4–5).
+package cluster

@@ -1,20 +1,3 @@
-// Package comm implements the collective-communication substrate the paper
-// relies on (Horovod/MPI in the original evaluation): point-to-point
-// transports and the classic collective algorithms built on top of them —
-// ring and recursive-doubling allreduce, ring allgather (including the
-// variable-size allgatherv that sparse gradient exchange needs), binomial
-// broadcast and reduce, and a barrier.
-//
-// Two transports implement the same Transport interface: an in-process
-// channel fabric (this package; deterministic and fast, the default for
-// experiments) and a real TCP loopback fabric (package
-// a2sgd/internal/comm/tcpnet) used to validate that the collectives run
-// unchanged over an actual network stack.
-//
-// Every Communicator keeps per-rank traffic counters (payload bytes sent and
-// received, message counts); the benchmark harness feeds those counters into
-// the α–β network model (package a2sgd/internal/netsim) to reproduce the
-// paper's iteration-time figures.
 package comm
 
 import (
@@ -70,6 +53,13 @@ type Communicator struct {
 	asyncMu      sync.Mutex
 	asyncQueue   []asyncJob
 	asyncRunning bool
+
+	// children are the group communicators created by Split; their traffic
+	// is folded into this communicator's Traffic.
+	children []*Communicator
+	// hier, when non-nil, switches the core collectives to the two-level
+	// (intra-node + inter-node) schedules of hierarchy.go.
+	hier *hierarchy
 }
 
 // NewCommunicator wraps a transport.
@@ -86,22 +76,36 @@ func (c *Communicator) Size() int { return c.t.Size() }
 // Close closes the underlying transport.
 func (c *Communicator) Close() error { return c.t.Close() }
 
-// Traffic returns a snapshot of the accumulated counters.
+// Traffic returns a snapshot of the accumulated counters, including the
+// traffic of every group communicator created by Split (the hierarchical
+// collectives run entirely on those groups).
 func (c *Communicator) Traffic() Traffic {
-	return Traffic{
+	t := Traffic{
 		BytesSent: c.bytesSent.Load(),
 		BytesRecv: c.bytesRecv.Load(),
 		MsgsSent:  c.msgsSent.Load(),
 		MsgsRecv:  c.msgsRecv.Load(),
 	}
+	for _, ch := range c.children {
+		ct := ch.Traffic()
+		t.BytesSent += ct.BytesSent
+		t.BytesRecv += ct.BytesRecv
+		t.MsgsSent += ct.MsgsSent
+		t.MsgsRecv += ct.MsgsRecv
+	}
+	return t
 }
 
-// ResetTraffic zeroes the counters (between experiment phases).
+// ResetTraffic zeroes the counters (between experiment phases), including
+// those of group communicators.
 func (c *Communicator) ResetTraffic() {
 	c.bytesSent.Store(0)
 	c.bytesRecv.Store(0)
 	c.msgsSent.Store(0)
 	c.msgsRecv.Store(0)
+	for _, ch := range c.children {
+		ch.ResetTraffic()
+	}
 }
 
 func (c *Communicator) send(to, tag int, data []float32) error {
@@ -184,10 +188,15 @@ const autoCutover = 4096
 
 // AllreduceSum replaces v on every rank with the elementwise sum across all
 // ranks. All ranks must pass equal-length vectors and the same algorithm.
+// On a communicator with a two-level topology (SetTopology) the sum runs the
+// hierarchical schedule; algo then selects the inter-node leader allreduce.
 func (c *Communicator) AllreduceSum(v []float32, algo AllreduceAlgorithm) error {
 	p := c.Size()
 	if p == 1 {
 		return nil
+	}
+	if c.hier != nil {
+		return c.hierAllreduceSum(v, algo)
 	}
 	switch algo {
 	case AlgoRing:
@@ -318,8 +327,21 @@ func addInto(dst, src []float32) {
 
 // Allgather concatenates each rank's equal-size contribution into out,
 // which must have length len(in)*Size(). Rank i's block lands at offset
-// i*len(in). Ring algorithm: P-1 steps of len(in) elements.
+// i*len(in). Ring algorithm: P-1 steps of len(in) elements. With a
+// two-level topology the exchange runs the hierarchical schedule instead.
 func (c *Communicator) Allgather(in, out []float32) error {
+	if len(out) != len(in)*c.Size() {
+		return ErrLengthMismatch
+	}
+	if c.hier != nil && c.Size() > 1 {
+		return c.hierAllgather(in, out)
+	}
+	return c.flatAllgather(in, out)
+}
+
+// flatAllgather is the single-level ring allgather; Split relies on it to
+// exchange colors before any hierarchy exists.
+func (c *Communicator) flatAllgather(in, out []float32) error {
 	p, r := c.Size(), c.Rank()
 	if len(out) != len(in)*p {
 		return ErrLengthMismatch
@@ -349,6 +371,9 @@ func (c *Communicator) Allgather(in, out []float32) error {
 // (its selected count varies per rank) and the one the paper's §4.4 credits
 // for Gaussian-K's iteration-time edge on fast networks.
 func (c *Communicator) AllgatherV(in []float32) (out []float32, lens []int, err error) {
+	if c.hier != nil && c.Size() > 1 {
+		return c.hierAllgatherV(in)
+	}
 	p, r := c.Size(), c.Rank()
 	lenBuf := make([]float32, p)
 	my := []float32{Float32FromIndex(uint32(len(in)))}
@@ -389,6 +414,9 @@ func (c *Communicator) Broadcast(v []float32, root int) error {
 	}
 	if root < 0 || root >= p {
 		return fmt.Errorf("comm: broadcast root %d out of range", root)
+	}
+	if c.hier != nil {
+		return c.hierBroadcast(v, root)
 	}
 	// Work in a rotated space where root is rank 0.
 	vr := (r - root + p) % p

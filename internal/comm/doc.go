@@ -1,0 +1,54 @@
+// Package comm implements the collective-communication substrate the paper
+// relies on (Horovod/MPI in the original evaluation): point-to-point
+// transports and the classic collective algorithms built on top of them —
+// ring and recursive-doubling allreduce, ring allgather (including the
+// variable-size allgatherv that sparse gradient exchange needs), binomial
+// broadcast and reduce, reduce-scatter, gather/scatter, all-to-all, and a
+// barrier.
+//
+// # Transports
+//
+// Two transports implement the same Transport interface: an in-process
+// channel fabric (this package; deterministic and fast, the default for
+// experiments) and a real TCP loopback fabric (package
+// a2sgd/internal/comm/tcpnet) used to validate that the collectives run
+// unchanged over an actual network stack. Collectives are written once
+// against the Transport interface, so a run on either fabric performs the
+// same message sequence.
+//
+// # Nonblocking operations
+//
+// Every Communicator owns a lazily-started progress worker (one goroutine,
+// mirroring an MPI progress thread) that executes posted operations strictly
+// in posting order: Async, IAllreduceMean, IAllreduceSum and IAllgather
+// return a Request whose Wait blocks until completion. Because operations
+// never run concurrently with each other, the floating-point reduction order
+// — and therefore the numerical result — is identical to issuing the same
+// operations synchronously; the training runtime exploits this to overlap
+// bucket i's collective with bucket i+1's gather+encode while staying
+// bitwise deterministic.
+//
+// # Group communicators and two-level topologies
+//
+// Split partitions a communicator's ranks into disjoint sub-groups,
+// MPI_Comm_split-style; each group is a full Communicator over the parent's
+// fabric with translated ranks and a private tag space. SetTopology builds
+// on two Splits to teach a communicator a two-level (intra-node +
+// inter-node) cluster shape: consecutive runs of ranksPerNode ranks form a
+// node, and AllreduceSum/AllreduceMean, Allgather, AllgatherV and Broadcast
+// transparently switch to hierarchical schedules (node-local reduce or
+// gather, an exchange among node leaders, node-local broadcast). The
+// schedules cross the slow inter-node tier once per node instead of once
+// per rank; callers — including the nonblocking requests and every
+// compression algorithm — are unchanged. Hierarchical results match flat
+// ones to float tolerance (the reduction order differs) and are fully
+// deterministic for a fixed seed and topology.
+//
+// # Traffic accounting
+//
+// Every Communicator keeps per-rank traffic counters (payload bytes sent and
+// received, message counts), aggregated over any group communicators it
+// spawned; the benchmark harness feeds those counters into the α–β network
+// model (package a2sgd/internal/netsim) to reproduce the paper's
+// iteration-time figures.
+package comm

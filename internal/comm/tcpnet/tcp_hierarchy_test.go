@@ -1,0 +1,93 @@
+package tcpnet
+
+import (
+	"math"
+	"testing"
+
+	"a2sgd/internal/comm"
+	"a2sgd/internal/tensor"
+)
+
+// TestTCPHierarchicalAllreduceMean checks that the two-level allreduce-mean
+// over real sockets matches the exact float64 mean within float tolerance —
+// the same contract the in-process fabric is held to.
+func TestTCPHierarchicalAllreduceMean(t *testing.T) {
+	const n = 1500
+	for _, tc := range []struct{ p, rpn int }{
+		{4, 2}, {6, 3}, {5, 2},
+	} {
+		ins := make([][]float32, tc.p)
+		want := make([]float64, n)
+		for r := 0; r < tc.p; r++ {
+			rng := tensor.NewRNG(uint64(300 + r))
+			v := make([]float32, n)
+			rng.NormVec(v, 0, 1)
+			ins[r] = v
+			for i := range v {
+				want[i] += float64(v[i])
+			}
+		}
+		for i := range want {
+			want[i] /= float64(tc.p)
+		}
+		err := runTCPGroup(t, tc.p, func(c *comm.Communicator) error {
+			if err := c.SetTopology(tc.rpn); err != nil {
+				return err
+			}
+			v := make([]float32, n)
+			copy(v, ins[c.Rank()])
+			if err := c.AllreduceMean(v, comm.AlgoAuto); err != nil {
+				return err
+			}
+			for i := range v {
+				if d := math.Abs(float64(v[i]) - want[i]); d > 1e-5 {
+					t.Errorf("p=%d rpn=%d rank %d: mean[%d]=%v want %v (|Δ|=%g)",
+						tc.p, tc.rpn, c.Rank(), i, v[i], want[i], d)
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d rpn=%d: %v", tc.p, tc.rpn, err)
+		}
+	}
+}
+
+// TestTCPHierarchicalAllgatherV checks the two-level variable-length gather
+// over real sockets: every rank must see every block in global rank order.
+func TestTCPHierarchicalAllgatherV(t *testing.T) {
+	const p, rpn = 6, 2
+	err := runTCPGroup(t, p, func(c *comm.Communicator) error {
+		if err := c.SetTopology(rpn); err != nil {
+			return err
+		}
+		in := make([]float32, c.Rank()+2)
+		for i := range in {
+			in[i] = float32(c.Rank()*100 + i)
+		}
+		out, lens, err := c.AllgatherV(in)
+		if err != nil {
+			return err
+		}
+		off := 0
+		for r := 0; r < p; r++ {
+			if lens[r] != r+2 {
+				t.Errorf("rank %d: lens[%d]=%d want %d", c.Rank(), r, lens[r], r+2)
+				return nil
+			}
+			for i := 0; i < lens[r]; i++ {
+				if out[off+i] != float32(r*100+i) {
+					t.Errorf("rank %d: block %d elem %d = %v want %v",
+						c.Rank(), r, i, out[off+i], float32(r*100+i))
+					return nil
+				}
+			}
+			off += lens[r]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

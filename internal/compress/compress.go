@@ -1,19 +1,3 @@
-// Package compress defines the gradient-synchronization algorithm interface
-// shared by every method the paper evaluates, and implements the baselines:
-// dense SGD, Top-K and Gaussian-K sparsification (with error feedback and
-// allgather exchange), QSGD quantization (with real bit-packing), plus the
-// Rand-K and TernGrad extensions discussed in the paper's related work.
-//
-// The paper's own contribution, two-level gradient averaging (A2SGD), lives
-// in package a2sgd/internal/core and implements the same interface.
-//
-// Every algorithm is split into two phases, mirroring how the paper accounts
-// computation (Figure 2) separately from communication (Figures 4–5):
-//
-//   - Encode: the purely local computation on the gradient — selection,
-//     quantization, or mean extraction — including error-feedback updates.
-//   - Exchange: the collective communication that turns per-worker payloads
-//     into the globally synchronized gradient.
 package compress
 
 import (

@@ -1,0 +1,35 @@
+// Package compress defines the gradient-synchronization algorithm interface
+// shared by every method the paper evaluates, and implements the baselines:
+// dense SGD, Top-K and Gaussian-K sparsification (with error feedback and
+// allgather exchange), QSGD quantization (with real bit-packing), plus the
+// Rand-K, DGC and TernGrad extensions discussed in the paper's related
+// work.
+//
+// The paper's own contribution, two-level gradient averaging (A2SGD), lives
+// in package a2sgd/internal/core and implements the same interface.
+//
+// # Encode / Exchange
+//
+// Every algorithm is split into two phases, mirroring how the paper
+// accounts computation (Figure 2) separately from communication
+// (Figures 4–5):
+//
+//   - Encode: the purely local computation on the gradient — selection,
+//     quantization, or mean extraction — including error-feedback updates.
+//   - Exchange: the collective communication that turns per-worker payloads
+//     into the globally synchronized gradient.
+//
+// Exchange receives a comm.Communicator and calls its collectives
+// (AllreduceMean, Allgather, AllgatherV); it is therefore agnostic to the
+// transport (in-process channels or TCP) and to the topology — on a
+// communicator configured with comm.SetTopology the same Exchange runs the
+// two-level hierarchical schedule unchanged.
+//
+// # Composition
+//
+// Bucketed composes per-bucket instances of one algorithm over a contiguous
+// partition of the gradient (the unit of the training runtime's overlapped
+// pipeline), and Periodic wraps any algorithm with round reduction
+// (synchronize every k-th step). Both implement Algorithm themselves, so
+// compositions nest.
+package compress

@@ -1,15 +1,3 @@
-// Package netsim models the wall-clock cost of collective communication on
-// a parameterized network fabric using the classic α–β (latency–bandwidth)
-// model: sending an m-byte message costs α + m·β seconds.
-//
-// The paper's testbed is 16 nodes on 100 Gbps InfiniBand; this repository
-// cannot reproduce that hardware, so the benchmark harness instead feeds the
-// *actual byte counts* produced by the collective implementations (package
-// a2sgd/internal/comm) into this model. The per-collective time laws below
-// are the standard ones (Thakur, Rabenseifner & Gropp, IJHPCA 2005 — the
-// paper's reference [46]) and therefore reproduce exactly the dependency the
-// paper's Figures 4–5 measure: how iteration time scales with message volume,
-// worker count and the choice of allreduce vs allgather.
 package netsim
 
 import "math"
@@ -130,6 +118,18 @@ func (f Fabric) SyncTime(kind ExchangeKind, bytesPerWorker int64, p int) float64
 // with a single bucket the law degenerates to enc + sync (the serial
 // model). encSec and bucketBytes must be parallel slices, one per bucket.
 func (f Fabric) PipelinedSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64 {
+	return pipelinedSyncTime(func(b int64) float64 { return f.SyncTime(kind, b, p) }, encSec, bucketBytes)
+}
+
+// SerialSyncTime is the non-overlapped counterpart of PipelinedSyncTime:
+// every encode and every collective runs back to back.
+func (f Fabric) SerialSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64 {
+	return serialSyncTime(func(b int64) float64 { return f.SyncTime(kind, b, p) }, encSec, bucketBytes)
+}
+
+// pipelinedSyncTime evaluates the overlap recurrence for any per-bucket
+// collective price law (flat or hierarchical).
+func pipelinedSyncTime(sync func(int64) float64, encSec []float64, bucketBytes []int64) float64 {
 	var encDone, syncDone float64
 	for b, bytes := range bucketBytes {
 		if b < len(encSec) {
@@ -138,20 +138,19 @@ func (f Fabric) PipelinedSyncTime(kind ExchangeKind, encSec []float64, bucketByt
 		if syncDone < encDone {
 			syncDone = encDone
 		}
-		syncDone += f.SyncTime(kind, bytes, p)
+		syncDone += sync(bytes)
 	}
 	return syncDone
 }
 
-// SerialSyncTime is the non-overlapped counterpart of PipelinedSyncTime:
-// every encode and every collective runs back to back.
-func (f Fabric) SerialSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64 {
+// serialSyncTime sums encodes and collectives back to back.
+func serialSyncTime(sync func(int64) float64, encSec []float64, bucketBytes []int64) float64 {
 	var t float64
 	for _, e := range encSec {
 		t += e
 	}
 	for _, bytes := range bucketBytes {
-		t += f.SyncTime(kind, bytes, p)
+		t += sync(bytes)
 	}
 	return t
 }

@@ -1,0 +1,138 @@
+package netsim
+
+// Two-tier price law. A flat Fabric prices every rank pair identically; real
+// clusters are hierarchical — several workers per node on a fast local
+// interconnect (shared memory, NVLink, PCIe), nodes joined by a slower
+// network. TwoTier prices the two-level collective schedules of
+// comm.SetTopology: intra-node phases on the fast tier, the leader exchange
+// on the slow tier. Both Fabric and TwoTier implement Pricer, so every
+// modelled-iteration helper (cluster.Result.ModeledIterSec*) accepts either.
+
+// Pricer prices the synchronization time of one training step. Fabric (flat
+// α–β) and TwoTier (hierarchical) both implement it.
+type Pricer interface {
+	// Label identifies the network model in reports.
+	Label() string
+	// SyncTime prices one collective in which each worker contributes
+	// bytesPerWorker, across p workers.
+	SyncTime(kind ExchangeKind, bytesPerWorker int64, p int) float64
+	// PipelinedSyncTime prices the bucketed overlap pipeline (see
+	// Fabric.PipelinedSyncTime for the recurrence).
+	PipelinedSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64
+	// SerialSyncTime prices the same buckets without overlap.
+	SerialSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64
+}
+
+// Label implements Pricer for the flat fabric.
+func (f Fabric) Label() string { return f.Name }
+
+var (
+	_ Pricer = Fabric{}
+	_ Pricer = TwoTier{}
+)
+
+// TwoTier is a hierarchical fabric: RanksPerNode workers share a node linked
+// by the Intra fabric; node leaders exchange over the Inter fabric.
+type TwoTier struct {
+	// Name identifies the profile in reports.
+	Name string
+	// Intra prices the node-local links (the fast tier).
+	Intra Fabric
+	// Inter prices the cross-node links (the slow tier).
+	Inter Fabric
+	// RanksPerNode is the node width m; consecutive ranks share a node,
+	// mirroring comm.SetTopology. Values <= 1 degenerate to flat Inter.
+	RanksPerNode int
+}
+
+// NVLinkLocal approximates an intra-node accelerator interconnect:
+// ~0.3 µs latency, 200 GB/s.
+func NVLinkLocal() Fabric {
+	return Fabric{Name: "nvlink", Alpha: 3.0e-7, Beta: 5.0e-12}
+}
+
+// TwoTierIB100 is the default hierarchical profile: NVLink-class links
+// inside each node of the given width, the paper's 100 Gbps InfiniBand
+// between nodes.
+func TwoTierIB100(ranksPerNode int) TwoTier {
+	return TwoTier{Name: "nvlink+ib100", Intra: NVLinkLocal(), Inter: IB100(), RanksPerNode: ranksPerNode}
+}
+
+// TwoTierTCP10G swaps the inter-node tier for commodity 10 GbE, widening
+// the intra/inter gap the hierarchical schedules exploit.
+func TwoTierTCP10G(ranksPerNode int) TwoTier {
+	return TwoTier{Name: "nvlink+tcp10g", Intra: NVLinkLocal(), Inter: TCP10G(), RanksPerNode: ranksPerNode}
+}
+
+// Label implements Pricer.
+func (t TwoTier) Label() string { return t.Name }
+
+// shape clamps the node width to the group and returns (ranks per node,
+// node count).
+func (t TwoTier) shape(p int) (m, nodes int) {
+	m = t.RanksPerNode
+	if m > p {
+		m = p
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m, (p + m - 1) / m
+}
+
+// HierAllreduce prices the two-level allreduce of an n-byte vector:
+// intra-node binomial reduce (⌈log2 m⌉ rounds of n bytes on the fast tier),
+// flat allreduce among the node leaders on the slow tier, intra-node
+// binomial broadcast.
+func (t TwoTier) HierAllreduce(nBytes int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	m, nodes := t.shape(p)
+	if m <= 1 {
+		return t.Inter.Allreduce(nBytes, p)
+	}
+	cost := t.Intra.Broadcast(nBytes, m) // binomial reduce: same tree as broadcast
+	cost += t.Inter.Allreduce(nBytes, nodes)
+	cost += t.Intra.Broadcast(nBytes, m)
+	return cost
+}
+
+// HierAllgather prices the two-level allgather where every rank contributes
+// nBytes: flat gather into the node leader (m−1 messages of nBytes on the
+// fast tier), ring allgather of m·n-byte node blocks among leaders on the
+// slow tier, then an intra-node broadcast of the full p·n-byte result.
+func (t TwoTier) HierAllgather(nBytes int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	m, nodes := t.shape(p)
+	if m <= 1 {
+		return t.Inter.Allgather(nBytes, p)
+	}
+	cost := float64(m-1) * t.Intra.PointToPoint(nBytes)
+	cost += t.Inter.Allgather(nBytes*int64(m), nodes)
+	cost += t.Intra.Broadcast(nBytes*int64(p), m)
+	return cost
+}
+
+// SyncTime implements Pricer with the hierarchical laws.
+func (t TwoTier) SyncTime(kind ExchangeKind, bytesPerWorker int64, p int) float64 {
+	switch kind {
+	case ExchangeAllgather:
+		return t.HierAllgather(bytesPerWorker, p)
+	default:
+		return t.HierAllreduce(bytesPerWorker, p)
+	}
+}
+
+// PipelinedSyncTime implements Pricer (same recurrence as the flat fabric,
+// with hierarchical per-bucket collective prices).
+func (t TwoTier) PipelinedSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64 {
+	return pipelinedSyncTime(func(b int64) float64 { return t.SyncTime(kind, b, p) }, encSec, bucketBytes)
+}
+
+// SerialSyncTime implements Pricer.
+func (t TwoTier) SerialSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64 {
+	return serialSyncTime(func(b int64) float64 { return t.SyncTime(kind, b, p) }, encSec, bucketBytes)
+}

@@ -1,0 +1,25 @@
+// Package nn is a from-scratch neural-network framework with reverse-mode
+// backpropagation: fully connected, convolutional, batch-norm, pooling,
+// dropout, embedding and LSTM layers plus a softmax cross-entropy loss.
+// It plays the role PyTorch plays in the paper — producing real gradients
+// from real training so that the distributed synchronization experiments
+// operate on genuine gradient distributions (Figure 1), not synthetic noise.
+//
+// # Data layout
+//
+// A batch is a tensor.Mat with one sample per row. Image tensors are
+// flattened row-major as C×H×W per row; convolutional layers carry the
+// (C, H, W) shape metadata themselves.
+//
+// # Parameter segments and bucket planning
+//
+// A model's learnable tensors flatten into one contiguous parameter/gradient
+// vector. ParamSegments exposes the per-layer extents of that vector, and
+// PlanBuckets partitions it — at layer granularity, never splitting a tensor
+// — into buckets of a byte budget. The bucket plan is the scheduling unit of
+// the distributed runtime's overlapped gradient pipeline (and of its
+// two-level hierarchical collectives): see a2sgd/internal/cluster.
+//
+// Checkpointing (SaveParams/LoadParams) round-trips the flattened parameter
+// vector in a self-describing binary format.
+package nn

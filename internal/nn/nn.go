@@ -1,13 +1,3 @@
-// Package nn is a from-scratch neural-network framework with reverse-mode
-// backpropagation: fully connected, convolutional, batch-norm, pooling,
-// dropout, embedding and LSTM layers plus a softmax cross-entropy loss.
-// It plays the role PyTorch plays in the paper — producing real gradients
-// from real training so that the distributed synchronization experiments
-// operate on genuine gradient distributions (Figure 1), not synthetic noise.
-//
-// Data layout: a batch is a tensor.Mat with one sample per row. Image
-// tensors are flattened row-major as C×H×W per row; convolutional layers
-// carry the (C, H, W) shape metadata themselves.
 package nn
 
 import (
