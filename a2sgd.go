@@ -9,11 +9,25 @@
 // # Quick start
 //
 //	res, err := a2sgd.Train(a2sgd.TrainConfig{
-//		Family:    "fnn3",   // fnn3 | vgg16 | resnet20 | lstm
-//		Algorithm: "a2sgd",  // a2sgd | dense | topk | gaussiank | qsgd | ...
-//		Workers:   8,
-//		Epochs:    10,
+//		Family:  "fnn3",                 // fnn3 | vgg16 | resnet20 | lstm
+//		Spec:    "topk(density=0.01)",   // any registered algorithm spec
+//		Workers: 8,
+//		Epochs:  10,
 //	})
+//
+// # Algorithm specs and policies
+//
+// Every synchronization algorithm is constructed from a spec string with
+// typed, validated parameters — "a2sgd", "topk(density=0.01)",
+// "qsgd(levels=8)" — and wrappers compose: "periodic(a2sgd, interval=4)"
+// synchronizes only every 4th step. Algorithms() lists the registered
+// names, AlgorithmUsage() their full signatures, and Register extends the
+// registry with third-party compressors.
+//
+// A per-bucket Policy chooses a spec per gradient bucket when BucketBytes
+// partitions the model: "mixed(big=a2sgd, small=dense, threshold=64KiB)"
+// compresses the big buckets and leaves the small ones dense;
+// "bylayer(conv=qsgd(levels=8), default=a2sgd)" keys on layer names.
 //
 // The returned Result carries per-epoch accuracy/perplexity, the measured
 // compression compute time, the exact per-worker traffic, and helpers that
@@ -23,13 +37,13 @@ package a2sgd
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 
 	"a2sgd/internal/cluster"
 	"a2sgd/internal/comm"
 	"a2sgd/internal/comm/tcpnet"
 	"a2sgd/internal/compress"
-	"a2sgd/internal/core"
+	_ "a2sgd/internal/core" // registers a2sgd and its ablation variants
 	"a2sgd/internal/models"
 	"a2sgd/internal/netsim"
 )
@@ -40,6 +54,27 @@ type Algorithm = compress.Algorithm
 
 // Options configures algorithm construction.
 type Options = compress.Options
+
+// Spec is a parsed algorithm spec — the registry's constructor input.
+type Spec = compress.Spec
+
+// Builder registers one algorithm: parameter schema plus constructor.
+type Builder = compress.Builder
+
+// ParamSpec declares one accepted spec parameter.
+type ParamSpec = compress.ParamSpec
+
+// BuildArgs carries validated spec arguments into a Builder.
+type BuildArgs = compress.BuildArgs
+
+// Policy maps each gradient bucket to the spec that synchronizes it.
+type Policy = compress.Policy
+
+// PolicyBuilder constructs a policy from its spec arguments.
+type PolicyBuilder = compress.PolicyBuilder
+
+// BucketInfo is the bucket metadata a Policy keys its choice on.
+type BucketInfo = compress.BucketInfo
 
 // Fabric is an α–β network model used to price synchronization time.
 type Fabric = netsim.Fabric
@@ -72,55 +107,53 @@ func TwoTierIB100(ranksPerNode int) TwoTier { return netsim.TwoTierIB100(ranksPe
 // TwoTierTCP10G is TwoTierIB100 with commodity 10 GbE between nodes.
 func TwoTierTCP10G(ranksPerNode int) TwoTier { return netsim.TwoTierTCP10G(ranksPerNode) }
 
-// builders maps algorithm names to constructors.
-var builders = map[string]func(Options) Algorithm{
-	"a2sgd": func(o Options) Algorithm { return core.NewFromOptions(o) },
-	"a2sgd-fused": func(o Options) Algorithm {
-		return core.New(o.N, core.WithMode(core.Fused), core.WithAllreduce(o.Allreduce))
-	},
-	"a2sgd-noef": func(o Options) Algorithm {
-		return core.New(o.N, core.WithoutErrorFeedback(), core.WithAllreduce(o.Allreduce))
-	},
-	"a2sgd-onemean": func(o Options) Algorithm { return core.New(o.N, core.WithOneMean(), core.WithAllreduce(o.Allreduce)) },
-	"a2sgd-allgather": func(o Options) Algorithm {
-		return core.New(o.N, core.WithAllgather())
-	},
-	"dense":      func(o Options) Algorithm { return compress.NewDense(o) },
-	"topk":       func(o Options) Algorithm { return compress.NewTopK(o) },
-	"gaussiank":  func(o Options) Algorithm { return compress.NewGaussianK(o) },
-	"qsgd":       func(o Options) Algorithm { return compress.NewQSGD(o) },
-	"qsgd-elias": func(o Options) Algorithm { return compress.NewQSGDElias(o) },
-	"randk":      func(o Options) Algorithm { return compress.NewRandK(o) },
-	"dgc":        func(o Options) Algorithm { return compress.NewDGC(o) },
-	"terngrad":   func(o Options) Algorithm { return compress.NewTernGrad(o) },
+// Register adds an algorithm to the spec registry under the given name —
+// the extension point for third-party compressors. Registered names are
+// immediately usable in Spec/Policy strings, the CLIs and the bench sweeps.
+// It panics on duplicate or invalid names (registration is init-time
+// wiring).
+func Register(name string, b Builder) { compress.Register(name, b) }
+
+// RegisterPolicy adds a per-bucket policy to the policy registry. usage is
+// the signature unknown-policy errors and CLI flag help print (e.g.
+// "mixed(big=spec, small=spec, threshold=bytes)").
+func RegisterPolicy(name, usage string, b PolicyBuilder) {
+	compress.RegisterPolicy(name, usage, b)
 }
 
+// Parse parses an algorithm spec string ("topk(density=0.01)",
+// "periodic(qsgd(levels=8), interval=4)") without building it.
+func Parse(src string) (*Spec, error) { return compress.Parse(src) }
+
+// ParsePolicy parses and builds a per-bucket policy spec ("uniform(a2sgd)",
+// "mixed(big=a2sgd, small=dense, threshold=64KiB)", "bylayer(...)"). A
+// plain algorithm spec is accepted as shorthand for uniform(spec).
+func ParsePolicy(src string) (Policy, error) { return compress.ParsePolicy(src) }
+
 // Algorithms lists the registered algorithm names, sorted.
-func Algorithms() []string {
-	names := make([]string, 0, len(builders))
-	for n := range builders {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+func Algorithms() []string { return compress.Registered() }
+
+// AlgorithmUsage lists every registered algorithm's spec signature
+// ("topk(density=float)"), sorted by name.
+func AlgorithmUsage() []string { return compress.Usage() }
+
+// Policies lists the registered policy names, sorted.
+func Policies() []string { return compress.Policies() }
+
+// PolicyUsage lists the built-in policy signatures.
+func PolicyUsage() []string { return compress.PolicyUsage() }
+
+// Lookup returns the registered builder for an algorithm name.
+func Lookup(name string) (Builder, bool) { return compress.LookupBuilder(name) }
 
 // EvaluatedAlgorithms lists the five methods of the paper's evaluation in
 // figure-legend order.
-func EvaluatedAlgorithms() []string {
-	return []string{"dense", "topk", "qsgd", "gaussiank", "a2sgd"}
-}
+func EvaluatedAlgorithms() []string { return compress.Evaluated() }
 
-// NewAlgorithm builds a registered algorithm. Options.N must be set.
-func NewAlgorithm(name string, o Options) (Algorithm, error) {
-	b, ok := builders[name]
-	if !ok {
-		return nil, fmt.Errorf("a2sgd: unknown algorithm %q (have %v)", name, Algorithms())
-	}
-	if o.N <= 0 {
-		return nil, fmt.Errorf("a2sgd: Options.N must be positive")
-	}
-	return b(o), nil
+// NewAlgorithm builds an algorithm from a spec string. Options.N must be
+// set; spec parameters override the Options defaults.
+func NewAlgorithm(spec string, o Options) (Algorithm, error) {
+	return compress.ParseBuild(spec, o)
 }
 
 // DefaultOptions mirrors the paper's hyperparameters (density 0.001 for the
@@ -130,6 +163,7 @@ func DefaultOptions(n int) Options { return compress.DefaultOptions(n) }
 // Periodic wraps any algorithm with round reduction: workers synchronize
 // only every interval-th step (local-SGD style in between) — the
 // communication-reduction composition the paper's conclusion suggests.
+// The spec grammar spells it "periodic(inner, interval=k)".
 func Periodic(inner Algorithm, interval int) Algorithm {
 	return compress.NewPeriodic(inner, interval)
 }
@@ -138,7 +172,21 @@ func Periodic(inner Algorithm, interval int) Algorithm {
 type TrainConfig struct {
 	// Family selects the model: "fnn3", "vgg16", "resnet20", "lstm".
 	Family string
-	// Algorithm selects gradient synchronization (see Algorithms()).
+	// Spec selects gradient synchronization as an algorithm spec string:
+	// "a2sgd", "topk(density=0.01)", "periodic(qsgd(levels=8), interval=4)".
+	// See Algorithms() / AlgorithmUsage(). Empty defaults to "a2sgd" unless
+	// Algorithm or Policy is set.
+	Spec string
+	// Policy selects gradient synchronization per bucket: "uniform(spec)",
+	// "mixed(big=a2sgd, small=dense, threshold=64KiB)" or
+	// "bylayer(pattern=spec, ..., default=spec)". Pair it with BucketBytes —
+	// with a single whole-model bucket every policy degenerates to the one
+	// spec it picks for bucket 0. Mutually exclusive with Spec/Algorithm.
+	Policy string
+	// Algorithm is the legacy spelling of Spec and keeps working (it also
+	// accepts full spec strings).
+	//
+	// Deprecated: use Spec.
 	Algorithm string
 	// Workers is the data-parallel width (default 1).
 	Workers int
@@ -148,7 +196,12 @@ type TrainConfig struct {
 	Seed uint64
 	// Momentum for the SGD optimizer (Table 1 runs use 0.9).
 	Momentum float32
-	// Density / QuantLevels override the paper defaults when non-zero.
+	// Density / QuantLevels override the paper defaults when non-zero. They
+	// lower onto the legacy Algorithm spec ("topk" + Density 0.01 builds
+	// exactly "topk(density=0.01)") and are rejected alongside Spec/Policy,
+	// which carry their parameters inline.
+	//
+	// Deprecated: write density= / levels= inside Spec.
 	Density     float64
 	QuantLevels int
 	// HistIters captures Figure-1 gradient histograms at these steps.
@@ -189,17 +242,95 @@ var allreduceByName = map[string]comm.AllreduceAlgorithm{
 	"recdouble": comm.AlgoRecursiveDoubling,
 }
 
-// Train runs data-parallel training with the named algorithm and returns
-// rank 0's view of the run.
+// lowerLegacy attaches the deprecated Density/QuantLevels overrides to the
+// root of a legacy Algorithm spec, when the root accepts the corresponding
+// parameter (algorithms that never used the knob keep ignoring it, as the
+// old flat config did). Explicit spec parameters win over the legacy
+// fields. FormatFloat(-1) round-trips exactly, so the lowered spec builds
+// the bit-identical algorithm the flat fields built.
+func lowerLegacy(s *compress.Spec, density float64, quantLevels int) {
+	b, ok := compress.LookupBuilder(s.Name)
+	if !ok {
+		return // CheckSpec reports the unknown name with the full usage list
+	}
+	accepts := func(name string) bool {
+		for _, p := range b.Params {
+			if p.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	if density > 0 && accepts("density") {
+		s.SetKeyed("density", strconv.FormatFloat(density, 'g', -1, 64))
+	}
+	if quantLevels > 0 && accepts("levels") {
+		s.SetKeyed("levels", strconv.Itoa(quantLevels))
+	}
+}
+
+// resolvePolicy turns the TrainConfig algorithm fields — Spec, Policy, or
+// the deprecated Algorithm/Density/QuantLevels — into one validated Policy.
+func (tc TrainConfig) resolvePolicy() (compress.Policy, error) {
+	set := 0
+	for _, s := range []string{tc.Spec, tc.Policy, tc.Algorithm} {
+		if s != "" {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, fmt.Errorf("a2sgd: set at most one of Spec, Policy and Algorithm (got Spec=%q Policy=%q Algorithm=%q)",
+			tc.Spec, tc.Policy, tc.Algorithm)
+	}
+	legacyKnobs := tc.Density > 0 || tc.QuantLevels > 0
+	if tc.Policy != "" {
+		if legacyKnobs {
+			return nil, fmt.Errorf("a2sgd: Density/QuantLevels cannot combine with Policy — write density=/levels= inside the policy's specs")
+		}
+		return compress.ParsePolicy(tc.Policy)
+	}
+	if tc.Spec != "" && legacyKnobs {
+		return nil, fmt.Errorf("a2sgd: Density/QuantLevels cannot combine with Spec — write density=/levels= inside the spec")
+	}
+	src := tc.Spec
+	if src == "" {
+		src = tc.Algorithm
+	}
+	if src == "" {
+		src = "a2sgd"
+	}
+	spec, err := compress.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	// The legacy knobs lower onto bare algorithm names only — the shape the
+	// old flat config could express. A parameterized or wrapped Algorithm
+	// spec carries its own parameters, and silently dropping the knobs
+	// there would train the wrong hyperparameters.
+	if legacyKnobs && len(spec.Args) > 0 {
+		return nil, fmt.Errorf("a2sgd: Density/QuantLevels only combine with a bare legacy Algorithm name, not %q — write density=/levels= inside the spec", src)
+	}
+	lowerLegacy(spec, tc.Density, tc.QuantLevels)
+	return compress.BuildPolicy(spec)
+}
+
+// Train runs data-parallel training with the configured algorithm spec or
+// per-bucket policy and returns rank 0's view of the run.
 func Train(tc TrainConfig) (*Result, error) {
 	if tc.Seed == 0 {
 		tc.Seed = 1
 	}
-	if tc.Algorithm == "" {
-		tc.Algorithm = "a2sgd"
+	pol, err := tc.resolvePolicy()
+	if err != nil {
+		return nil, err
 	}
-	if _, ok := builders[tc.Algorithm]; !ok {
-		return nil, fmt.Errorf("a2sgd: unknown algorithm %q (have %v)", tc.Algorithm, Algorithms())
+	// Pre-build every spec the policy can return, so construction errors
+	// (out-of-range parameters, unregistered names) surface here and not
+	// inside the worker group.
+	for _, s := range pol.Specs() {
+		if _, err := compress.Build(s, compress.DefaultOptions(4)); err != nil {
+			return nil, err
+		}
 	}
 	allreduce, ok := allreduceByName[tc.Allreduce]
 	if !ok {
@@ -218,26 +349,30 @@ func Train(tc TrainConfig) (*Result, error) {
 		BucketBytes:    tc.BucketBytes,
 		Overlap:        tc.Overlap,
 		Topology:       tc.Topology,
-		NewBucketAlgorithm: func(rank, bucket, n int) compress.Algorithm {
-			o := compress.DefaultOptions(n)
+		NewBucketAlgorithm: func(rank int, info compress.BucketInfo) compress.Algorithm {
+			o := compress.DefaultOptions(info.Params)
 			// Bucket 0 keeps the historical per-rank seed so the default
 			// single-bucket run reproduces pre-bucketing results exactly;
 			// later buckets decorrelate their stochastic-compression RNG.
-			o.Seed = tc.Seed*31 + uint64(rank) + 1 + uint64(bucket)*1_000_003
+			o.Seed = tc.Seed*31 + uint64(rank) + 1 + uint64(info.Index)*1_000_003
 			o.Allreduce = allreduce
-			if tc.Density > 0 {
-				o.Density = tc.Density
+			a, err := compress.Build(pol.SpecFor(info), o)
+			if err != nil {
+				// Every reachable spec was pre-built above.
+				panic(fmt.Sprintf("a2sgd: pre-validated spec failed to build: %v", err))
 			}
-			if tc.QuantLevels > 0 {
-				o.QuantLevels = tc.QuantLevels
-			}
-			return builders[tc.Algorithm](o)
+			return a
 		},
 	}
 	if tc.TCP {
 		cfg.GroupRunner = tcpnet.RunGroup
 	}
-	return cluster.Train(cfg)
+	res, err := cluster.Train(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Policy = pol.Name()
+	return res, nil
 }
 
 // Families lists the evaluation model families (Table 1).

@@ -9,6 +9,8 @@
 //	a2sgdbench -experiment table2
 //	a2sgdbench -experiment buckets -buckets 0,2048,8192
 //	a2sgdbench -experiment hierarchy -workers 8 -topology 1,2,4
+//	a2sgdbench -experiment mixed -mixbuckets 4096,16384 \
+//	    -policies "uniform(a2sgd);mixed(big=a2sgd, small=dense, threshold=8KiB)"
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"strings"
 
 	"a2sgd/internal/bench"
+	"a2sgd/internal/compress"
 	"a2sgd/internal/netsim"
 )
 
@@ -39,7 +42,7 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|hierarchy|all")
+	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|hierarchy|mixed|all")
 	maxN := flag.Int("maxn", 25_000_000, "largest parameter count for fig2")
 	scale := flag.Int("scale", 10, "divide paper parameter counts by this for fig4/fig5/table2 (1 = full)")
 	workersFlag := flag.String("workers", "2,4,8,16", "worker counts for fig3/fig4/fig5")
@@ -49,7 +52,22 @@ func main() {
 	bucketsFlag := flag.String("buckets", "0,2048,8192,32768", "bucket byte budgets for the bucket sweep (0 = whole model)")
 	topologyFlag := flag.String("topology", "1,2,4", "ranks-per-node widths for the hierarchy sweep (1 = flat)")
 	hierBucketsFlag := flag.String("hierbuckets", "0,8192", "bucket byte budgets for the hierarchy sweep")
+	algosFlag := flag.String("algos", "",
+		"algorithm specs for the buckets/hierarchy sweeps, comma separated (default: the paper's five-method set) — registered: "+
+			strings.Join(compress.Usage(), ", "))
+	mixBucketsFlag := flag.String("mixbuckets", "4096,16384", "bucket byte budgets for the mixed-policy sweep")
+	policiesFlag := flag.String("policies", "",
+		"per-bucket policies for the mixed sweep, semicolon separated — "+strings.Join(compress.PolicyUsage(), "; "))
 	flag.Parse()
+
+	var algos []string
+	if *algosFlag != "" {
+		for _, a := range strings.Split(*algosFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				algos = append(algos, a)
+			}
+		}
+	}
 
 	workers, err := parseInts(*workersFlag)
 	if err != nil {
@@ -147,7 +165,7 @@ func main() {
 		}
 		_, err = bench.BucketSweep(w, bench.BucketSweepConfig{
 			Workers: wk, Epochs: *epochs, Steps: *steps,
-			BucketBytes: bucketBytes, Fabric: fabric,
+			BucketBytes: bucketBytes, Fabric: fabric, Algorithms: algos,
 		})
 		return err
 	})
@@ -167,7 +185,30 @@ func main() {
 		_, err = bench.HierarchySweep(w, bench.HierarchySweepConfig{
 			Workers: wk, Epochs: *epochs, Steps: *steps,
 			RanksPerNode: rpns, BucketBytes: bucketBytes,
-			Inter: fabric,
+			Inter: fabric, Algorithms: algos,
+		})
+		return err
+	})
+	run("mixed", func() error {
+		mixBuckets, err := parseInts(*mixBucketsFlag)
+		if err != nil {
+			return fmt.Errorf("bad -mixbuckets: %w", err)
+		}
+		var policies []string
+		if *policiesFlag != "" {
+			for _, p := range strings.Split(*policiesFlag, ";") {
+				if p = strings.TrimSpace(p); p != "" {
+					policies = append(policies, p)
+				}
+			}
+		}
+		wk := 4
+		if len(workers) > 0 {
+			wk = workers[0]
+		}
+		_, err = bench.MixedSweep(w, bench.MixedSweepConfig{
+			Workers: wk, Epochs: *epochs, Steps: *steps,
+			BucketBytes: mixBuckets, Policies: policies, Fabric: fabric,
 		})
 		return err
 	})

@@ -1,16 +1,23 @@
 // Command a2sgdtrain runs one distributed training configuration and prints
 // the per-epoch metric curve plus the synchronization cost breakdown.
 //
+// -algo accepts any registered algorithm spec, including parameters and
+// wrappers; -policy switches to a per-bucket policy (pair it with
+// -bucket-bytes so there is more than one bucket to mix over).
+//
 // Usage:
 //
 //	a2sgdtrain -family fnn3 -algo a2sgd -workers 8 -epochs 10
-//	a2sgdtrain -family lstm -algo topk -workers 4 -density 0.01
+//	a2sgdtrain -family lstm -algo "topk(density=0.01)" -workers 4
+//	a2sgdtrain -algo "periodic(qsgd(levels=8), interval=4)"
+//	a2sgdtrain -policy "mixed(big=a2sgd, small=dense, threshold=16KiB)" -bucket-bytes 8192
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"a2sgd"
 	"a2sgd/internal/models"
@@ -18,27 +25,41 @@ import (
 
 func main() {
 	family := flag.String("family", "fnn3", "model family: fnn3|vgg16|resnet20|lstm")
-	algo := flag.String("algo", "a2sgd", fmt.Sprintf("algorithm: %v", a2sgd.Algorithms()))
+	algo := flag.String("algo", "a2sgd",
+		"algorithm spec — registered: "+strings.Join(a2sgd.AlgorithmUsage(), ", "))
+	policy := flag.String("policy", "",
+		"per-bucket policy spec (overrides -algo) — "+strings.Join(a2sgd.PolicyUsage(), ", "))
 	workers := flag.Int("workers", 4, "data-parallel worker count")
 	epochs := flag.Int("epochs", 10, "training epochs")
 	steps := flag.Int("steps", 16, "steps per epoch")
 	batch := flag.Int("batch", 16, "batch size per worker")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	momentum := flag.Float64("momentum", 0.9, "SGD momentum")
-	density := flag.Float64("density", 0, "sparsifier density override (0 = paper default 0.001)")
+	density := flag.Float64("density", 0, "sparsifier density override (0 = paper default 0.001; prefer density= in -algo)")
 	transport := flag.String("transport", "inproc", "worker fabric: inproc|tcp")
 	bucketBytes := flag.Int("bucket-bytes", 0, "gradient bucket budget in bytes (0 = whole model)")
 	overlap := flag.Bool("overlap", false, "pipeline per-bucket sync behind encode")
 	topology := flag.Int("topology", 0, "two-level hierarchy width in ranks per node (0/1 = flat)")
 	flag.Parse()
 
-	res, err := a2sgd.Train(a2sgd.TrainConfig{
-		Family: *family, Algorithm: *algo, Workers: *workers,
+	tc := a2sgd.TrainConfig{
+		Family: *family, Workers: *workers,
 		Epochs: *epochs, StepsPerEpoch: *steps, BatchPerWorker: *batch,
-		Seed: *seed, Momentum: float32(*momentum), Density: *density,
+		Seed: *seed, Momentum: float32(*momentum),
+		// Density always passes through, so -density alongside -policy (or a
+		// parameterized -algo spec) hits the façade's conflict error instead
+		// of silently training the default.
+		Density:     *density,
 		TCP:         *transport == "tcp",
 		BucketBytes: *bucketBytes, Overlap: *overlap, Topology: *topology,
-	})
+	}
+	if *policy != "" {
+		tc.Policy = *policy
+	} else {
+		tc.Algorithm = *algo
+	}
+
+	res, err := a2sgd.Train(tc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
@@ -48,8 +69,8 @@ func main() {
 	if res.Metric == models.MetricPerplexity {
 		metric = "perplexity"
 	}
-	fmt.Printf("model=%s algo=%s workers=%d params=%d buckets=%d overlap=%v topology=%d\n",
-		res.Family, res.Algorithm, res.Workers, res.NumParams, res.Buckets, res.Overlap, res.Topology)
+	fmt.Printf("model=%s algo=%s policy=%s workers=%d params=%d buckets=%d overlap=%v topology=%d\n",
+		res.Family, res.Algorithm, res.Policy, res.Workers, res.NumParams, res.Buckets, res.Overlap, res.Topology)
 	fmt.Printf("%-6s %-12s %-12s %-12s %s\n", "epoch", "train-loss", "eval-loss", metric, "lr")
 	for _, e := range res.Epochs {
 		fmt.Printf("%-6d %-12.4f %-12.4f %-12.4f %.5f\n", e.Epoch, e.Loss, e.EvalLoss, e.Metric, e.LR)

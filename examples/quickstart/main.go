@@ -16,7 +16,7 @@ func main() {
 	fmt.Println("== A2SGD quickstart: FNN-3, 4 workers ==")
 	res, err := a2sgd.Train(a2sgd.TrainConfig{
 		Family:         "fnn3",
-		Algorithm:      "a2sgd",
+		Spec:           "a2sgd",
 		Workers:        workers,
 		Epochs:         8,
 		StepsPerEpoch:  16,
@@ -31,7 +31,7 @@ func main() {
 	}
 
 	dense, err := a2sgd.Train(a2sgd.TrainConfig{
-		Family: "fnn3", Algorithm: "dense", Workers: workers,
+		Family: "fnn3", Spec: "dense", Workers: workers,
 		Epochs: 8, StepsPerEpoch: 16, BatchPerWorker: 16, Momentum: 0.9,
 	})
 	if err != nil {

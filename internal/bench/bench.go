@@ -20,46 +20,34 @@ import (
 	"strings"
 
 	"a2sgd/internal/compress"
-	"a2sgd/internal/core"
 	"a2sgd/internal/models"
 	"a2sgd/internal/netsim"
 )
 
-// EvalAlgos is the paper's five-method evaluation set, legend order.
-var EvalAlgos = []string{"dense", "topk", "qsgd", "gaussiank", "a2sgd"}
+// EvalAlgos is the paper's five-method evaluation set, legend order
+// (derived from the shared registry's evaluated list).
+var EvalAlgos = compress.Evaluated()
 
-// newAlgo builds one of the evaluated algorithms for an n-parameter model
-// with the paper's default hyperparameters.
-func newAlgo(name string, n int, seed uint64) compress.Algorithm {
-	return newAlgoDensity(name, n, seed, 0)
+// newAlgo builds an algorithm spec for an n-parameter model with the
+// paper's default hyperparameters. Any registered spec works, so sweeps can
+// take full specs ("qsgd(levels=8)") as well as bare names.
+func newAlgo(spec string, n int, seed uint64) compress.Algorithm {
+	return newAlgoDensity(spec, n, seed, 0)
 }
 
 // newAlgoDensity is newAlgo with a sparsifier-density override (0 keeps the
 // paper default of 0.001).
-func newAlgoDensity(name string, n int, seed uint64, density float64) compress.Algorithm {
+func newAlgoDensity(spec string, n int, seed uint64, density float64) compress.Algorithm {
 	o := compress.DefaultOptions(n)
 	o.Seed = seed
 	if density > 0 {
 		o.Density = density
 	}
-	switch name {
-	case "dense":
-		return compress.NewDense(o)
-	case "topk":
-		return compress.NewTopK(o)
-	case "gaussiank":
-		return compress.NewGaussianK(o)
-	case "qsgd":
-		return compress.NewQSGD(o)
-	case "a2sgd":
-		return core.NewFromOptions(o)
-	case "randk":
-		return compress.NewRandK(o)
-	case "terngrad":
-		return compress.NewTernGrad(o)
-	default:
-		panic("bench: unknown algorithm " + name)
+	a, err := compress.ParseBuild(spec, o)
+	if err != nil {
+		panic("bench: " + err.Error())
 	}
+	return a
 }
 
 // table renders rows as an aligned text table.

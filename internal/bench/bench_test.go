@@ -177,6 +177,57 @@ func TestTable2ScalingEfficiency(t *testing.T) {
 	}
 }
 
+func TestMixedSweepComparesPolicies(t *testing.T) {
+	cfg := MixedSweepConfig{
+		Workers: 2, Epochs: 1, Steps: 4,
+		BucketBytes: []int{8192},
+		Policies: []string{
+			"uniform(dense)",
+			"mixed(big=a2sgd, small=dense, threshold=8KiB)",
+		},
+	}
+	var buf bytes.Buffer
+	points, err := MixedSweep(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	uni, mix := points[0], points[1]
+	if mix.Policy != "mixed(big=a2sgd, small=dense, threshold=8KiB)" {
+		t.Errorf("policy name %q", mix.Policy)
+	}
+	if !strings.Contains(mix.Composition, "a2sgd") || !strings.Contains(mix.Composition, "dense") {
+		t.Errorf("mixed composition %q", mix.Composition)
+	}
+	// Compressing the big buckets must cut the per-worker payload.
+	if mix.PayloadBytes >= uni.PayloadBytes {
+		t.Errorf("mixed payload %d not below uniform dense %d", mix.PayloadBytes, uni.PayloadBytes)
+	}
+	for _, p := range points {
+		if p.ModelOverlapSec > p.ModelSerialSec {
+			t.Errorf("%s: overlap law %v exceeds serial %v", p.Policy, p.ModelOverlapSec, p.ModelSerialSec)
+		}
+		if p.ModelSerialSec <= 0 {
+			t.Errorf("%s: non-positive modelled time", p.Policy)
+		}
+	}
+	if !strings.Contains(buf.String(), "model-overlap") {
+		t.Error("missing table header")
+	}
+	// Deterministic per seed: a second sweep reproduces the metrics.
+	again, err := MixedSweep(io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if points[i].FinalMetric != again[i].FinalMetric {
+			t.Errorf("%s: metric %v vs %v across reruns", points[i].Policy, points[i].FinalMetric, again[i].FinalMetric)
+		}
+	}
+}
+
 func TestNewAlgoUnknownPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

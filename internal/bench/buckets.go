@@ -79,8 +79,8 @@ func BucketSweep(w io.Writer, c BucketSweepConfig) ([]BucketPoint, error) {
 					Workers: cfg.Workers, Family: cfg.Family,
 					Epochs: cfg.Epochs, StepsPerEpoch: cfg.Steps,
 					Seed: 11, BucketBytes: bb, Overlap: overlap,
-					NewBucketAlgorithm: func(rank, bucket, n int) compress.Algorithm {
-						return newAlgo(algo, n, uint64(rank+1)+uint64(bucket)*1_000_003)
+					NewBucketAlgorithm: func(rank int, info compress.BucketInfo) compress.Algorithm {
+						return newAlgo(algo, info.Params, uint64(rank+1)+uint64(info.Index)*1_000_003)
 					},
 				})
 			}

@@ -174,11 +174,11 @@ func TestPerBucketSeedsDiffer(t *testing.T) {
 	seeds := map[int]uint64{}
 	cfg := bucketCfg("qsgd", 2, fourBucketBytes, true)
 	cfg.NewAlgorithm = nil
-	cfg.NewBucketAlgorithm = func(rank, bucket, n int) compress.Algorithm {
-		o := compress.DefaultOptions(n)
-		o.Seed = uint64(rank+1)*1000 + uint64(bucket)
+	cfg.NewBucketAlgorithm = func(rank int, info compress.BucketInfo) compress.Algorithm {
+		o := compress.DefaultOptions(info.Params)
+		o.Seed = uint64(rank+1)*1000 + uint64(info.Index)
 		if rank == 0 {
-			seeds[bucket] = o.Seed
+			seeds[info.Index] = o.Seed
 		}
 		return compress.NewQSGD(o)
 	}

@@ -28,9 +28,12 @@ type Config struct {
 	// when BucketBytes is 0, i.e. a single whole-model bucket).
 	NewAlgorithm func(rank, numParams int) compress.Algorithm
 	// NewBucketAlgorithm, when non-nil, builds per-bucket algorithm
-	// instances with the bucket index available (so per-bucket stochastic
-	// seeds can differ). Nil falls back to NewAlgorithm(rank, n) per bucket.
-	NewBucketAlgorithm func(rank, bucket, numParams int) compress.Algorithm
+	// instances with the bucket's metadata available — its index (so
+	// per-bucket stochastic seeds can differ), element count, raw byte size
+	// and covered layer names — which is what a per-bucket policy (the
+	// compress.Policy layer) keys its spec choice on. Nil falls back to
+	// NewAlgorithm(rank, n) per bucket.
+	NewBucketAlgorithm func(rank int, info compress.BucketInfo) compress.Algorithm
 	// BucketBytes partitions the flattened gradient into layer-granular
 	// buckets of at most this many bytes (nn.PlanBuckets); each bucket gets
 	// its own algorithm instance and its own collective. 0 keeps the legacy
@@ -120,6 +123,14 @@ type Result struct {
 	// BucketPayloadBytes is the analytic per-worker payload of each bucket,
 	// the input to the overlap-aware network model.
 	BucketPayloadBytes []int64
+	// BucketExchangeKinds is each bucket's dominant collective. Under a
+	// mixing policy the buckets differ (dense buckets allreduce, sparse
+	// buckets allgather); the modelled price laws account each bucket under
+	// its own kind. Empty means every bucket uses ExchangeKind.
+	BucketExchangeKinds []netsim.ExchangeKind
+	// Policy is the canonical per-bucket policy spec the run used, when the
+	// caller built algorithms through the policy layer ("" otherwise).
+	Policy string
 
 	// BytesPerWorkerPerStep is the measured payload sent per worker per
 	// step, averaged across all ranks (from the traffic counters). The
@@ -173,6 +184,16 @@ func (r *Result) bucketCosts() (enc []float64, bytes []int64) {
 	return enc, bytes
 }
 
+// bucketKinds returns the per-bucket exchange kinds for the price laws,
+// falling back to the aggregate ExchangeKind when the run predates (or
+// didn't populate) the per-bucket record.
+func (r *Result) bucketKinds() []netsim.ExchangeKind {
+	if len(r.BucketExchangeKinds) > 0 {
+		return r.BucketExchangeKinds
+	}
+	return []netsim.ExchangeKind{r.ExchangeKind}
+}
+
 // ModeledIterSecOverlap prices one iteration when per-bucket synchronization
 // is pipelined behind encode (the Overlap step loop): compute plus the
 // makespan of the encode→sync pipeline, in which bucket i's collective is
@@ -180,7 +201,7 @@ func (r *Result) bucketCosts() (enc []float64, bytes []int64) {
 // degenerates to ModeledIterSec.
 func (r *Result) ModeledIterSecOverlap(f netsim.Pricer) float64 {
 	enc, bytes := r.bucketCosts()
-	return r.AvgComputeSec + f.PipelinedSyncTime(r.ExchangeKind, enc, bytes, r.Workers)
+	return r.AvgComputeSec + f.PipelinedSyncTimeKinds(r.bucketKinds(), enc, bytes, r.Workers)
 }
 
 // ModeledIterSecSerial prices the same bucketed step without overlap: every
@@ -190,7 +211,7 @@ func (r *Result) ModeledIterSecOverlap(f netsim.Pricer) float64 {
 // bucketing pays and fusion avoids.
 func (r *Result) ModeledIterSecSerial(f netsim.Pricer) float64 {
 	enc, bytes := r.bucketCosts()
-	return r.AvgComputeSec + f.SerialSyncTime(r.ExchangeKind, enc, bytes, r.Workers)
+	return r.AvgComputeSec + f.SerialSyncTimeKinds(r.bucketKinds(), enc, bytes, r.Workers)
 }
 
 // Throughput returns modelled samples/second at the run's worker count.
@@ -200,6 +221,21 @@ func (r *Result) Throughput(f netsim.Pricer, batchPerWorker int) float64 {
 		return 0
 	}
 	return float64(batchPerWorker*r.Workers) / it
+}
+
+// bucketInfos derives each bucket's policy-facing metadata from the plan.
+func bucketInfos(plan nn.BucketPlan) []compress.BucketInfo {
+	infos := make([]compress.BucketInfo, len(plan.Buckets))
+	for b, bk := range plan.Buckets {
+		layers := make([]string, len(bk.Segments))
+		for i, sg := range bk.Segments {
+			layers[i] = sg.Name
+		}
+		infos[b] = compress.BucketInfo{
+			Index: b, Params: bk.Len, Bytes: int64(4 * bk.Len), Layers: layers,
+		}
+	}
+	return infos
 }
 
 func (c *Config) defaults() Config {
@@ -268,14 +304,15 @@ func Train(c Config) (*Result, error) {
 		// seeds and A2SGD means). BucketBytes 0 yields a single whole-model
 		// bucket whose instance — and arithmetic — matches the legacy path.
 		plan := nn.PlanBuckets(model.ParamSegments(), cfg.BucketBytes)
+		infos := bucketInfos(plan)
 		newBucketAlg := cfg.NewBucketAlgorithm
 		if newBucketAlg == nil {
-			newBucketAlg = func(rank, bucket, bn int) compress.Algorithm {
-				return cfg.NewAlgorithm(rank, bn)
+			newBucketAlg = func(rank int, info compress.BucketInfo) compress.Algorithm {
+				return cfg.NewAlgorithm(rank, info.Params)
 			}
 		}
 		bucketed := compress.NewBucketed(plan.Bounds(), func(b, bn int) compress.Algorithm {
-			return newBucketAlg(rank, b, bn)
+			return newBucketAlg(rank, infos[b])
 		})
 		bounds := bucketed.Bounds()
 		nb := bucketed.NumBuckets()
@@ -445,6 +482,7 @@ func Train(c Config) (*Result, error) {
 			res.Overlap = cfg.Overlap
 			res.Topology = cm.Topology()
 			res.BucketPayloadBytes = bucketed.PayloadBytesPerBucket()
+			res.BucketExchangeKinds = bucketed.ExchangeKinds()
 			res.Histograms = hists
 			resMu.Unlock()
 		}

@@ -2,6 +2,7 @@ package compress
 
 import (
 	"fmt"
+	"strings"
 
 	"a2sgd/internal/comm"
 	"a2sgd/internal/netsim"
@@ -77,12 +78,34 @@ func (bk *Bucketed) PayloadBytesPerBucket() []int64 {
 }
 
 // Name implements Algorithm: the inner name, suffixed with the bucket count
-// when the partition is non-trivial.
+// when the partition is non-trivial. Under a mixing policy the buckets run
+// different algorithms; the distinct inner names are joined in first-use
+// order ("a2sgd|dense+bucketed[5]").
 func (bk *Bucketed) Name() string {
 	if len(bk.algs) == 1 {
 		return bk.algs[0].Name()
 	}
-	return fmt.Sprintf("%s+bucketed[%d]", bk.algs[0].Name(), len(bk.algs))
+	var distinct []string
+	seen := map[string]bool{}
+	for _, a := range bk.algs {
+		if n := a.Name(); !seen[n] {
+			seen[n] = true
+			distinct = append(distinct, n)
+		}
+	}
+	return fmt.Sprintf("%s+bucketed[%d]", strings.Join(distinct, "|"), len(bk.algs))
+}
+
+// ExchangeKinds returns each bucket's dominant collective — the per-bucket
+// input to the mixed-policy price laws (netsim *SyncTimeKinds). Uniform
+// runs repeat one kind; mixed policies interleave allreduce- and
+// allgather-style buckets.
+func (bk *Bucketed) ExchangeKinds() []netsim.ExchangeKind {
+	kinds := make([]netsim.ExchangeKind, len(bk.algs))
+	for b, a := range bk.algs {
+		kinds[b] = a.ExchangeKind()
+	}
+	return kinds
 }
 
 // Encode implements Algorithm: every bucket is encoded in order. The

@@ -1,0 +1,85 @@
+package compress
+
+import "fmt"
+
+// Built-in registrations: the baselines this package implements, plus the
+// periodic wrapper. A2SGD and its ablation variants self-register from
+// a2sgd/internal/core (which imports this package), so any binary linking
+// core sees the full set.
+
+// densityParam is the shared schema of the sparsifiers' selection fraction.
+var densityParam = ParamSpec{
+	Name: "density", Kind: ParamFloat,
+	Doc: "selected fraction k/n in (0, 1] (default 0.001)",
+}
+
+// sparsifier registers a density-parameterized leaf algorithm.
+func sparsifier(summary string, ctor func(Options) Algorithm) Builder {
+	return Builder{
+		Summary: summary,
+		Params:  []ParamSpec{densityParam},
+		Build: func(o Options, args BuildArgs) (Algorithm, error) {
+			o.Density = args.Float("density", o.Density)
+			if o.Density <= 0 || o.Density > 1 {
+				return nil, fmt.Errorf("density %g out of range (0, 1]", o.Density)
+			}
+			return ctor(o), nil
+		},
+	}
+}
+
+// quantizer registers a levels-parameterized leaf algorithm.
+func quantizer(summary string, ctor func(Options) Algorithm) Builder {
+	return Builder{
+		Summary: summary,
+		Params: []ParamSpec{{
+			Name: "levels", Kind: ParamInt,
+			Doc: "quantization levels s >= 1 (default 4)",
+		}},
+		Build: func(o Options, args BuildArgs) (Algorithm, error) {
+			o.QuantLevels = args.Int("levels", o.QuantLevels)
+			if o.QuantLevels < 1 {
+				return nil, fmt.Errorf("levels %d out of range (>= 1)", o.QuantLevels)
+			}
+			return ctor(o), nil
+		},
+	}
+}
+
+func init() {
+	Register("dense", Builder{
+		Summary: "uncompressed allreduce-averaged SGD (baseline)",
+		Build:   func(o Options, _ BuildArgs) (Algorithm, error) { return NewDense(o), nil },
+	})
+	Register("topk", sparsifier("top-k magnitude sparsification with error feedback",
+		func(o Options) Algorithm { return NewTopK(o) }))
+	Register("gaussiank", sparsifier("Gaussian-threshold sparsification with error feedback",
+		func(o Options) Algorithm { return NewGaussianK(o) }))
+	Register("randk", sparsifier("uniform random-k sparsification with error feedback",
+		func(o Options) Algorithm { return NewRandK(o) }))
+	Register("dgc", sparsifier("deep gradient compression (top-k + momentum correction)",
+		func(o Options) Algorithm { return NewDGC(o) }))
+	Register("qsgd", quantizer("QSGD stochastic quantization, packed words",
+		func(o Options) Algorithm { return NewQSGD(o) }))
+	Register("qsgd-elias", quantizer("QSGD with Elias-gamma entropy coding",
+		func(o Options) Algorithm { return NewQSGDElias(o) }))
+	Register("terngrad", Builder{
+		Summary: "ternary {-1,0,+1} stochastic quantization",
+		Build:   func(o Options, _ BuildArgs) (Algorithm, error) { return NewTernGrad(o), nil },
+	})
+	Register("periodic", Builder{
+		Summary: "round reduction wrapper: synchronize every interval-th step",
+		Wraps:   1,
+		Params: []ParamSpec{{
+			Name: "interval", Kind: ParamInt,
+			Doc: "steps between synchronizations, >= 1 (default 2)",
+		}},
+		Build: func(o Options, args BuildArgs) (Algorithm, error) {
+			interval := args.Int("interval", 2)
+			if interval < 1 {
+				return nil, fmt.Errorf("interval %d out of range (>= 1)", interval)
+			}
+			return NewPeriodic(args.Inner[0], interval), nil
+		},
+	})
+}

@@ -1,12 +1,14 @@
 // Package compress defines the gradient-synchronization algorithm interface
-// shared by every method the paper evaluates, and implements the baselines:
+// shared by every method the paper evaluates, implements the baselines —
 // dense SGD, Top-K and Gaussian-K sparsification (with error feedback and
 // allgather exchange), QSGD quantization (with real bit-packing), plus the
 // Rand-K, DGC and TernGrad extensions discussed in the paper's related
-// work.
+// work — and hosts the algorithm registry, the spec grammar and the
+// per-bucket policy layer that the public façade exposes.
 //
 // The paper's own contribution, two-level gradient averaging (A2SGD), lives
-// in package a2sgd/internal/core and implements the same interface.
+// in package a2sgd/internal/core, implements the same interface and
+// self-registers into the registry here.
 //
 // # Encode / Exchange
 //
@@ -25,11 +27,70 @@
 // communicator configured with comm.SetTopology the same Exchange runs the
 // two-level hierarchical schedule unchanged.
 //
+// # The spec grammar
+//
+// Algorithms are named and parameterized by a small spec grammar:
+//
+//	spec  := name [ '(' args ')' ]
+//	args  := arg { ',' arg }
+//	arg   := [ name '=' ] value
+//	value := spec | scalar
+//
+// Names and scalars are runs of letters, digits and the characters
+// ._+- ; whitespace is insignificant. Keyed arguments are typed parameters
+// validated against the registered schema (int, float, byte size, string);
+// positional arguments are inner algorithm specs for wrappers. Examples:
+//
+//	dense
+//	topk(density=0.01)
+//	qsgd(levels=8)
+//	periodic(qsgd(levels=8), interval=4)
+//
+// Byte sizes accept B / KiB / MiB / GiB (binary) and KB / MB / GB
+// (decimal) suffixes: "64KiB" is 65536.
+//
+// Parse turns a string into a Spec; Spec.String renders the canonical form
+// (a round trip is the identity); CheckSpec validates a tree against the
+// registry without constructing; Build constructs the algorithm, with spec
+// parameters overriding the Options defaults.
+//
+// # The registry
+//
+// Register(name, Builder) adds an algorithm: its one-line summary, its
+// parameter schema ([]ParamSpec), its wrapper arity (Wraps) and its
+// constructor. This package registers the baselines and the periodic
+// wrapper in an init function; package core registers a2sgd and its
+// ablation variants the same way; third-party compressors follow the same
+// path and immediately become spellable in specs, policies, the CLIs and
+// the bench sweeps. Unknown-name errors list every registered signature
+// (Usage), so the error message is the API's documentation of record.
+//
+// # Policies
+//
+// A Policy chooses a spec per gradient bucket from the bucket's metadata
+// (BucketInfo: index, element count, raw bytes, covered layer names).
+// Policies use the same grammar with algorithm specs as argument values:
+//
+//	uniform(a2sgd)
+//	mixed(big=a2sgd, small=dense, threshold=64KiB)
+//	bylayer(.b=dense, default=a2sgd)
+//
+// uniform applies one spec everywhere; mixed splits on a raw-byte-size
+// threshold (big buckets get the compressed spec, the tiny tail stays
+// dense); bylayer tries its pattern rules in declaration order against the
+// bucket's layer names (substring match) and falls back to the required
+// default. A bare algorithm spec is accepted wherever a policy is expected
+// and means uniform(spec). Policies are pure functions of BucketInfo and
+// validate every referenced spec at construction, so policy-driven runs
+// are deterministic per seed and cannot fail mid-training.
+//
 // # Composition
 //
-// Bucketed composes per-bucket instances of one algorithm over a contiguous
-// partition of the gradient (the unit of the training runtime's overlapped
-// pipeline), and Periodic wraps any algorithm with round reduction
-// (synchronize every k-th step). Both implement Algorithm themselves, so
-// compositions nest.
+// Bucketed composes per-bucket instances over a contiguous partition of
+// the gradient (the unit of the training runtime's overlapped pipeline) —
+// under a mixing policy its buckets run different algorithms, and
+// ExchangeKinds reports each bucket's collective for the netsim price
+// laws. Periodic wraps any algorithm with round reduction (synchronize
+// every k-th step). Both implement Algorithm themselves, so compositions
+// nest.
 package compress

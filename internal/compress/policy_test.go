@@ -1,0 +1,196 @@
+package compress
+
+import (
+	"strings"
+	"testing"
+)
+
+func bucket(idx, params int, layers ...string) BucketInfo {
+	return BucketInfo{Index: idx, Params: params, Bytes: int64(4 * params), Layers: layers}
+}
+
+func TestUniformPolicy(t *testing.T) {
+	p, err := ParsePolicy("uniform(topk(density=0.01))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "uniform(topk(density=0.01))" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+	for _, b := range []BucketInfo{bucket(0, 10), bucket(3, 1_000_000)} {
+		if got := p.SpecFor(b).String(); got != "topk(density=0.01)" {
+			t.Errorf("SpecFor(%d) = %q", b.Index, got)
+		}
+	}
+	if len(p.Specs()) != 1 {
+		t.Errorf("Specs() = %v", p.Specs())
+	}
+}
+
+func TestBareAlgorithmSpecIsUniform(t *testing.T) {
+	p, err := ParsePolicy("qsgd(levels=8)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "uniform(qsgd(levels=8))" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+}
+
+func TestMixedPolicyThreshold(t *testing.T) {
+	p, err := ParsePolicy("mixed(big=topk(density=0.01), small=dense, threshold=1KiB)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 KiB = 1024 bytes = 256 float32 params.
+	if got := p.SpecFor(bucket(0, 255)).Name; got != "dense" {
+		t.Errorf("small bucket got %q", got)
+	}
+	if got := p.SpecFor(bucket(1, 256)).Name; got != "topk" { // exactly at threshold: big
+		t.Errorf("threshold bucket got %q", got)
+	}
+	if got := p.SpecFor(bucket(2, 100_000)).Name; got != "topk" {
+		t.Errorf("big bucket got %q", got)
+	}
+	if want := "mixed(big=topk(density=0.01), small=dense, threshold=1KiB)"; p.Name() != want {
+		t.Errorf("Name() = %q, want %q", p.Name(), want)
+	}
+	if len(p.Specs()) != 2 {
+		t.Errorf("Specs() = %v", p.Specs())
+	}
+}
+
+func TestMixedPolicyErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"mixed(big=nope, small=dense)", `unknown algorithm "nope"`},
+		{"mixed(foo=dense)", `unknown parameter "foo"`},
+		{"mixed(dense)", "keyed arguments only"},
+		{"mixed(threshold=abc)", "byte size"},
+		{"mixed(big=topk(density=9), small=dense)", "out of range"},
+	}
+	for _, c := range cases {
+		_, err := ParsePolicy(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParsePolicy(%q) error %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestMixedPolicySpecValidation(t *testing.T) {
+	// Out-of-range parameters inside a policy's branch are caught when the
+	// policy is built, not at training time.
+	if _, err := ParsePolicy("mixed(big=dense, small=qsgd(levels=0))"); err == nil {
+		t.Error("bad small spec must be rejected at policy build")
+	}
+}
+
+func TestByLayerPolicy(t *testing.T) {
+	p, err := ParsePolicy("bylayer(conv=qsgd(levels=8), fc=topk(density=0.05), default=dense)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		b    BucketInfo
+		want string
+	}{
+		{bucket(0, 100, "conv1.W", "conv1.b"), "qsgd"},
+		{bucket(1, 100, "fc2.W"), "topk"},
+		{bucket(2, 100, "embed.W"), "dense"},
+		// First matching rule wins, in declaration order.
+		{bucket(3, 100, "fc1.W", "conv9.W"), "qsgd"},
+	}
+	for _, c := range cases {
+		if got := p.SpecFor(c.b).Name; got != c.want {
+			t.Errorf("SpecFor(%v) = %q, want %q", c.b.Layers, got, c.want)
+		}
+	}
+	if len(p.Specs()) != 3 {
+		t.Errorf("Specs() = %v", p.Specs())
+	}
+	if _, err := ParsePolicy("bylayer(conv=dense)"); err == nil || !strings.Contains(err.Error(), "default") {
+		t.Errorf("bylayer without default must error, got %v", err)
+	}
+}
+
+func TestUnknownPolicyErrorListsBoth(t *testing.T) {
+	_, err := ParsePolicy("zigzag(a=1)")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range []string{"mixed(big=spec, small=spec, threshold=bytes)", "uniform(spec)", "topk(density=float)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-policy error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestPoliciesRegistered(t *testing.T) {
+	got := Policies()
+	// Sorted, and containing at least the three built-ins (other tests may
+	// register extras in the same binary).
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Policies() not sorted: %v", got)
+		}
+	}
+	for _, want := range []string{"bylayer", "mixed", "uniform"} {
+		found := false
+		for _, n := range got {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("Policies() = %v, missing %q", got, want)
+		}
+	}
+}
+
+// TestPolicyUsageDerivesFromRegistry: a registered third-party policy shows
+// up in PolicyUsage and in the unknown-policy error, like algorithms do.
+func TestPolicyUsageDerivesFromRegistry(t *testing.T) {
+	RegisterPolicy("zz-test-policy", "zz-test-policy(spec)", func(args []Arg) (Policy, error) {
+		return &uniform{spec: &Spec{Name: "dense"}}, nil
+	})
+	found := false
+	for _, u := range PolicyUsage() {
+		if u == "zz-test-policy(spec)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("PolicyUsage() missing registered policy: %v", PolicyUsage())
+	}
+	_, err := ParsePolicy("definitely-unknown")
+	if err == nil || !strings.Contains(err.Error(), "zz-test-policy(spec)") {
+		t.Errorf("unknown-policy error missing registered usage:\n%v", err)
+	}
+}
+
+// TestPolicyDeterminism: SpecFor is a pure function of BucketInfo — repeated
+// calls with the same plan agree, which is what makes policy-driven training
+// runs reproducible per seed.
+func TestPolicyDeterminism(t *testing.T) {
+	p, err := ParsePolicy("mixed(big=topk(density=0.01), small=dense, threshold=2KiB)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := []BucketInfo{bucket(0, 100), bucket(1, 600, "fc1.W"), bucket(2, 300), bucket(3, 4000)}
+	var first []string
+	for trial := 0; trial < 3; trial++ {
+		var got []string
+		for _, b := range plan {
+			got = append(got, p.SpecFor(b).String())
+		}
+		if trial == 0 {
+			first = got
+			continue
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d bucket %d: %q != %q", trial, i, got[i], first[i])
+			}
+		}
+	}
+}

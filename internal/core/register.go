@@ -1,0 +1,22 @@
+package core
+
+import "a2sgd/internal/compress"
+
+// A2SGD and its ablation variants self-register into the shared algorithm
+// registry, so any binary that links this package can spell them in specs
+// ("a2sgd", "periodic(a2sgd, interval=4)", "mixed(big=a2sgd, ...)").
+func init() {
+	register := func(name, summary string, opts ...Option) {
+		compress.Register(name, compress.Builder{
+			Summary: summary,
+			Build: func(o compress.Options, _ compress.BuildArgs) (compress.Algorithm, error) {
+				return New(o.N, append([]Option{WithAllreduce(o.Allreduce)}, opts...)...), nil
+			},
+		})
+	}
+	register("a2sgd", "two-level gradient averaging, O(1) communication (the paper)")
+	register("a2sgd-fused", "A2SGD with the fused single-pass update", WithMode(Fused))
+	register("a2sgd-noef", "A2SGD ablation: error feedback disabled", WithoutErrorFeedback())
+	register("a2sgd-onemean", "A2SGD ablation: single signed mean", WithOneMean())
+	register("a2sgd-allgather", "A2SGD with the allgather mean exchange (§4.4)", WithAllgather())
+}

@@ -118,18 +118,51 @@ func (f Fabric) SyncTime(kind ExchangeKind, bytesPerWorker int64, p int) float64
 // with a single bucket the law degenerates to enc + sync (the serial
 // model). encSec and bucketBytes must be parallel slices, one per bucket.
 func (f Fabric) PipelinedSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64 {
-	return pipelinedSyncTime(func(b int64) float64 { return f.SyncTime(kind, b, p) }, encSec, bucketBytes)
+	return f.PipelinedSyncTimeKinds(uniformKinds(kind), encSec, bucketBytes, p)
 }
 
 // SerialSyncTime is the non-overlapped counterpart of PipelinedSyncTime:
 // every encode and every collective runs back to back.
 func (f Fabric) SerialSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64 {
-	return serialSyncTime(func(b int64) float64 { return f.SyncTime(kind, b, p) }, encSec, bucketBytes)
+	return f.SerialSyncTimeKinds(uniformKinds(kind), encSec, bucketBytes, p)
+}
+
+// PipelinedSyncTimeKinds is PipelinedSyncTime with a per-bucket exchange
+// kind — the price law for mixed per-bucket policies, where allreduce-style
+// buckets (dense, QSGD, A2SGD) and allgather-style buckets (Top-K,
+// Gaussian-K) share one pipeline. kinds[b] prices bucket b; a short slice
+// repeats its last element.
+func (f Fabric) PipelinedSyncTimeKinds(kinds []ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64 {
+	return pipelinedSyncTime(func(b int, bytes int64) float64 {
+		return f.SyncTime(kindAt(kinds, b), bytes, p)
+	}, encSec, bucketBytes)
+}
+
+// SerialSyncTimeKinds is SerialSyncTime with a per-bucket exchange kind.
+func (f Fabric) SerialSyncTimeKinds(kinds []ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64 {
+	return serialSyncTime(func(b int, bytes int64) float64 {
+		return f.SyncTime(kindAt(kinds, b), bytes, p)
+	}, encSec, bucketBytes)
+}
+
+// uniformKinds adapts the single-kind price laws to the per-bucket helpers.
+func uniformKinds(kind ExchangeKind) []ExchangeKind { return []ExchangeKind{kind} }
+
+// kindAt returns kinds[b], repeating the last element past the end (so a
+// one-element slice prices every bucket uniformly).
+func kindAt(kinds []ExchangeKind, b int) ExchangeKind {
+	if b < len(kinds) {
+		return kinds[b]
+	}
+	if len(kinds) > 0 {
+		return kinds[len(kinds)-1]
+	}
+	return ExchangeAllreduce
 }
 
 // pipelinedSyncTime evaluates the overlap recurrence for any per-bucket
 // collective price law (flat or hierarchical).
-func pipelinedSyncTime(sync func(int64) float64, encSec []float64, bucketBytes []int64) float64 {
+func pipelinedSyncTime(sync func(b int, bytes int64) float64, encSec []float64, bucketBytes []int64) float64 {
 	var encDone, syncDone float64
 	for b, bytes := range bucketBytes {
 		if b < len(encSec) {
@@ -138,19 +171,19 @@ func pipelinedSyncTime(sync func(int64) float64, encSec []float64, bucketBytes [
 		if syncDone < encDone {
 			syncDone = encDone
 		}
-		syncDone += sync(bytes)
+		syncDone += sync(b, bytes)
 	}
 	return syncDone
 }
 
 // serialSyncTime sums encodes and collectives back to back.
-func serialSyncTime(sync func(int64) float64, encSec []float64, bucketBytes []int64) float64 {
+func serialSyncTime(sync func(b int, bytes int64) float64, encSec []float64, bucketBytes []int64) float64 {
 	var t float64
 	for _, e := range encSec {
 		t += e
 	}
-	for _, bytes := range bucketBytes {
-		t += sync(bytes)
+	for b, bytes := range bucketBytes {
+		t += sync(b, bytes)
 	}
 	return t
 }
