@@ -46,6 +46,7 @@ import (
 	_ "a2sgd/internal/core" // registers a2sgd and its ablation variants
 	"a2sgd/internal/models"
 	"a2sgd/internal/netsim"
+	"a2sgd/internal/plan"
 )
 
 // Algorithm is one gradient-synchronization method (see package
@@ -86,6 +87,16 @@ type TwoTier = netsim.TwoTier
 // Pricer is the interface both Fabric and TwoTier satisfy; every
 // Result.ModeledIterSec* helper accepts either.
 type Pricer = netsim.Pricer
+
+// Schedule is a complete synchronization plan — bucket boundaries,
+// per-bucket algorithm specs, topology and overlap — typically emitted by
+// BuildSchedule (the cost-model-driven planner) and consumed by
+// TrainConfig.Schedule.
+type Schedule = plan.Schedule
+
+// PlanOptions configures BuildSchedule: the worker count, the network model
+// the plan is priced on, and optional candidate/budget/width pins.
+type PlanOptions = plan.Options
 
 // Result is a completed training run.
 type Result = cluster.Result
@@ -182,6 +193,13 @@ type TrainConfig struct {
 	// "bylayer(pattern=spec, ..., default=spec)". Pair it with BucketBytes —
 	// with a single whole-model bucket every policy degenerates to the one
 	// spec it picks for bucket 0. Mutually exclusive with Spec/Algorithm.
+	//
+	// "auto" (or "auto(spec, spec, ...)" with an explicit candidate list)
+	// hands the whole configuration to the cost-model planner instead:
+	// bucket boundaries, per-bucket specs and — when Topology is unset —
+	// the hierarchy width are derived from the netsim price of the run
+	// (plan.Build), and the run uses the overlapped pipeline. BucketBytes
+	// and Topology, when set alongside "auto", pin those axes of the search.
 	Policy string
 	// Algorithm is the legacy spelling of Spec and keeps working (it also
 	// accepts full spec strings).
@@ -232,6 +250,12 @@ type TrainConfig struct {
 	// Allreduce selects the dense/scalar allreduce algorithm: "auto"
 	// (default), "ring", or "recdouble".
 	Allreduce string
+	// Schedule runs a pre-planned synchronization schedule (BuildSchedule's
+	// output) instead of the hand-tuned knobs: bucket boundaries, per-bucket
+	// specs, topology and overlap all come from the schedule, so Spec,
+	// Policy, Algorithm, Density, QuantLevels, BucketBytes, Overlap and
+	// Topology must stay unset.
+	Schedule *Schedule
 }
 
 // allreduceByName maps TrainConfig.Allreduce to the comm algorithm.
@@ -314,15 +338,36 @@ func (tc TrainConfig) resolvePolicy() (compress.Policy, error) {
 	return compress.BuildPolicy(spec)
 }
 
-// Train runs data-parallel training with the configured algorithm spec or
-// per-bucket policy and returns rank 0's view of the run.
+// Train runs data-parallel training with the configured algorithm spec,
+// per-bucket policy or pre-planned schedule and returns rank 0's view of
+// the run.
 func Train(tc TrainConfig) (*Result, error) {
 	if tc.Seed == 0 {
 		tc.Seed = 1
 	}
+	allreduce, ok := allreduceByName[tc.Allreduce]
+	if !ok {
+		return nil, fmt.Errorf("a2sgd: unknown allreduce %q (have auto, ring, recdouble)", tc.Allreduce)
+	}
+	if tc.Schedule != nil {
+		if tc.Spec != "" || tc.Policy != "" || tc.Algorithm != "" || tc.Density > 0 || tc.QuantLevels > 0 ||
+			tc.BucketBytes != 0 || tc.Overlap || tc.Topology != 0 {
+			return nil, fmt.Errorf("a2sgd: Schedule carries the algorithm, bucket, overlap and topology knobs — leave Spec/Policy/Algorithm/Density/QuantLevels/BucketBytes/Overlap/Topology unset")
+		}
+		return trainSchedule(tc, tc.Schedule, allreduce)
+	}
 	pol, err := tc.resolvePolicy()
 	if err != nil {
 		return nil, err
+	}
+	// The auto policy is the planner's front door: derive the full schedule
+	// from the netsim price and run that instead of the flat knobs.
+	if ap, isAuto := pol.(*compress.AutoPolicy); isAuto {
+		sched, err := autoSchedule(tc, ap)
+		if err != nil {
+			return nil, err
+		}
+		return trainSchedule(tc, sched, allreduce)
 	}
 	// Pre-build every spec the policy can return, so construction errors
 	// (out-of-range parameters, unregistered names) surface here and not
@@ -332,10 +377,34 @@ func Train(tc TrainConfig) (*Result, error) {
 			return nil, err
 		}
 	}
-	allreduce, ok := allreduceByName[tc.Allreduce]
-	if !ok {
-		return nil, fmt.Errorf("a2sgd: unknown allreduce %q (have auto, ring, recdouble)", tc.Allreduce)
+	cfg := clusterConfig(tc)
+	cfg.BucketBytes = tc.BucketBytes
+	cfg.Overlap = tc.Overlap
+	cfg.Topology = tc.Topology
+	cfg.NewBucketAlgorithm = func(rank int, info compress.BucketInfo) compress.Algorithm {
+		o := compress.DefaultOptions(info.Params)
+		// compress.BucketSeed: bucket 0 keeps the historical per-rank seed
+		// so the default single-bucket run reproduces pre-bucketing results
+		// exactly; later buckets decorrelate their stochastic RNG.
+		o.Seed = compress.BucketSeed(tc.Seed, rank, info.Index)
+		o.Allreduce = allreduce
+		a, err := compress.Build(pol.SpecFor(info), o)
+		if err != nil {
+			// Every reachable spec was pre-built above.
+			panic(fmt.Sprintf("a2sgd: pre-validated spec failed to build: %v", err))
+		}
+		return a
 	}
+	res, err := cluster.Train(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Policy = pol.Name()
+	return res, nil
+}
+
+// clusterConfig copies the schedule-independent TrainConfig fields.
+func clusterConfig(tc TrainConfig) cluster.Config {
 	cfg := cluster.Config{
 		Workers:        tc.Workers,
 		Family:         tc.Family,
@@ -346,33 +415,70 @@ func Train(tc TrainConfig) (*Result, error) {
 		Momentum:       tc.Momentum,
 		HistIters:      tc.HistIters,
 		LRScale:        tc.LRScale,
-		BucketBytes:    tc.BucketBytes,
-		Overlap:        tc.Overlap,
-		Topology:       tc.Topology,
-		NewBucketAlgorithm: func(rank int, info compress.BucketInfo) compress.Algorithm {
-			o := compress.DefaultOptions(info.Params)
-			// Bucket 0 keeps the historical per-rank seed so the default
-			// single-bucket run reproduces pre-bucketing results exactly;
-			// later buckets decorrelate their stochastic-compression RNG.
-			o.Seed = tc.Seed*31 + uint64(rank) + 1 + uint64(info.Index)*1_000_003
-			o.Allreduce = allreduce
-			a, err := compress.Build(pol.SpecFor(info), o)
-			if err != nil {
-				// Every reachable spec was pre-built above.
-				panic(fmt.Sprintf("a2sgd: pre-validated spec failed to build: %v", err))
-			}
-			return a
-		},
 	}
 	if tc.TCP {
 		cfg.GroupRunner = tcpnet.RunGroup
 	}
-	res, err := cluster.Train(cfg)
+	return cfg
+}
+
+// trainSchedule runs a pre-planned schedule: the cluster consumes its
+// bounds/topology/overlap, and each bucket's algorithm is built from the
+// scheduled spec with the same canonical seed derivation the policy path
+// uses — which is what makes a schedule lowered from legacy knobs
+// (plan.Lower) reproduce the flat configuration bitwise.
+func trainSchedule(tc TrainConfig, sched *Schedule, allreduce comm.AllreduceAlgorithm) (*Result, error) {
+	cfg := clusterConfig(tc)
+	cfg.Schedule = sched
+	cfg.NewBucketAlgorithm = func(rank int, info compress.BucketInfo) compress.Algorithm {
+		o := compress.DefaultOptions(info.Params)
+		o.Seed = compress.BucketSeed(tc.Seed, rank, info.Index)
+		o.Allreduce = allreduce
+		a, err := compress.Build(sched.Specs[info.Index], o)
+		if err != nil {
+			// cluster.Train pre-validates every scheduled spec.
+			panic(fmt.Sprintf("a2sgd: pre-validated schedule spec failed to build: %v", err))
+		}
+		return a
+	}
+	return cluster.Train(cfg)
+}
+
+// autoSchedule plans the schedule the "auto" policy stands for: the run's
+// worker count, the auto candidates, and the default IB100 price law —
+// switching to the hierarchical TwoTierIB100 pair when Topology pins a
+// width. BucketBytes, when set, pins the bucket-budget axis. Auto runs
+// always use the overlapped pipeline (that is the makespan being minimized).
+func autoSchedule(tc TrainConfig, ap *compress.AutoPolicy) (*Schedule, error) {
+	workers := tc.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	o := plan.Options{Workers: workers, Pricer: netsim.IB100()}
+	if tc.Topology > 1 {
+		o.Pricer = netsim.TwoTierIB100(tc.Topology)
+		o.RanksPerNode = []int{tc.Topology}
+	}
+	if tc.BucketBytes > 0 {
+		o.BucketBudgets = []int{tc.BucketBytes}
+	}
+	for _, s := range ap.Candidates() {
+		o.Candidates = append(o.Candidates, s.String())
+	}
+	return BuildSchedule(tc.Family, o)
+}
+
+// BuildSchedule runs the cost-model planner for a model family: it derives
+// the family's parameter segments at reduced scale and asks plan.Build for
+// the cheapest modelled schedule — bucket boundaries sized against the
+// priced tier, per-bucket specs minimizing the pipelined makespan, and (for
+// TwoTier pricers) the cheapest ranks-per-node width.
+func BuildSchedule(family string, o PlanOptions) (*Schedule, error) {
+	m, err := models.New(models.Config{Family: family, Seed: 1, Reduced: true})
 	if err != nil {
 		return nil, err
 	}
-	res.Policy = pol.Name()
-	return res, nil
+	return plan.Build(m.ParamSegments(), o)
 }
 
 // Families lists the evaluation model families (Table 1).

@@ -11,9 +11,16 @@
 //	a2sgdbench -experiment hierarchy -workers 8 -topology 1,2,4
 //	a2sgdbench -experiment mixed -mixbuckets 4096,16384 \
 //	    -policies "uniform(a2sgd);mixed(big=a2sgd, small=dense, threshold=8KiB)"
+//	a2sgdbench -experiment auto -scale 10      # cost-model planner vs hand-tuned
+//	a2sgdbench -experiment auto -json results.json
+//
+// -json writes every executed experiment's structured results (including the
+// auto sweep's modelled-vs-chosen plan prices) to a file, so the perf
+// trajectory can be tracked across commits; "-" writes to stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,9 +49,9 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|hierarchy|mixed|all")
+	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|hierarchy|mixed|auto|all")
 	maxN := flag.Int("maxn", 25_000_000, "largest parameter count for fig2")
-	scale := flag.Int("scale", 10, "divide paper parameter counts by this for fig4/fig5/table2 (1 = full)")
+	scale := flag.Int("scale", 10, "divide paper parameter counts by this for fig4/fig5/table2/auto (1 = full)")
 	workersFlag := flag.String("workers", "2,4,8,16", "worker counts for fig3/fig4/fig5")
 	epochs := flag.Int("epochs", 8, "epochs for fig1/fig3")
 	steps := flag.Int("steps", 12, "steps per epoch for fig3")
@@ -53,11 +60,12 @@ func main() {
 	topologyFlag := flag.String("topology", "1,2,4", "ranks-per-node widths for the hierarchy sweep (1 = flat)")
 	hierBucketsFlag := flag.String("hierbuckets", "0,8192", "bucket byte budgets for the hierarchy sweep")
 	algosFlag := flag.String("algos", "",
-		"algorithm specs for the buckets/hierarchy sweeps, comma separated (default: the paper's five-method set) — registered: "+
+		"algorithm specs for the buckets/hierarchy/auto sweeps, comma separated (default: the paper's five-method set) — registered: "+
 			strings.Join(compress.Usage(), ", "))
 	mixBucketsFlag := flag.String("mixbuckets", "4096,16384", "bucket byte budgets for the mixed-policy sweep")
 	policiesFlag := flag.String("policies", "",
 		"per-bucket policies for the mixed sweep, semicolon separated — "+strings.Join(compress.PolicyUsage(), "; "))
+	jsonPath := flag.String("json", "", "write executed experiments' structured results as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	var algos []string
@@ -80,23 +88,27 @@ func main() {
 	}
 
 	w := os.Stdout
-	run := func(name string, f func() error) {
+	results := map[string]any{}
+	run := func(name string, f func() (any, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
 		fmt.Fprintf(w, "\n================ %s ================\n", name)
-		if err := f(); err != nil {
+		out, err := f()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		if out != nil {
+			results[name] = out
+		}
 	}
 
-	run("table1", func() error { return bench.Table1(w) })
-	run("fig1", func() error {
-		_, err := bench.Figure1(w, *epochs, 20, true)
-		return err
+	run("table1", func() (any, error) { return nil, bench.Table1(w) })
+	run("fig1", func() (any, error) {
+		return bench.Figure1(w, *epochs, 20, true)
 	})
-	run("fig2", func() error {
+	run("fig2", func() (any, error) {
 		sizes := []int{1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000, 100_000_000}
 		var trimmed []int
 		for _, s := range sizes {
@@ -104,14 +116,12 @@ func main() {
 				trimmed = append(trimmed, s)
 			}
 		}
-		_, err := bench.Figure2(w, trimmed, 2)
-		return err
+		return bench.Figure2(w, trimmed, 2)
 	})
-	run("fig3", func() error {
-		_, err := bench.Figure3(w, bench.Figure3Config{
+	run("fig3", func() (any, error) {
+		return bench.Figure3(w, bench.Figure3Config{
 			Workers: workers, Epochs: *epochs, Steps: *steps,
 		})
-		return err
 	})
 
 	var iterModel *bench.IterModel
@@ -125,74 +135,68 @@ func main() {
 		}
 		return nil
 	}
-	run("fig4", func() error {
+	run("fig4", func() (any, error) {
 		if err := needIter(); err != nil {
-			return err
+			return nil, err
 		}
-		bench.Figure4(w, iterModel, workers)
-		return nil
+		return bench.Figure4(w, iterModel, workers), nil
 	})
-	run("fig5", func() error {
+	run("fig5", func() (any, error) {
 		if err := needIter(); err != nil {
-			return err
+			return nil, err
 		}
-		bench.Figure5(w, iterModel, workers)
-		return nil
+		return bench.Figure5(w, iterModel, workers), nil
 	})
-	run("table2", func() error {
+	run("table2", func() (any, error) {
 		if err := needIter(); err != nil {
-			return err
+			return nil, err
 		}
-		bench.Table2(w, iterModel)
-		return nil
+		return bench.Table2(w, iterModel), nil
 	})
-	run("ablation", func() error {
+	run("ablation", func() (any, error) {
 		wk := 4
 		if len(workers) > 0 {
 			wk = workers[0]
 		}
-		_, err := bench.Ablation(w, wk, *epochs)
-		return err
+		return bench.Ablation(w, wk, *epochs)
 	})
-	run("buckets", func() error {
+	run("buckets", func() (any, error) {
 		bucketBytes, err := parseInts(*bucketsFlag)
 		if err != nil {
-			return fmt.Errorf("bad -buckets: %w", err)
+			return nil, fmt.Errorf("bad -buckets: %w", err)
 		}
 		wk := 4
 		if len(workers) > 0 {
 			wk = workers[0]
 		}
-		_, err = bench.BucketSweep(w, bench.BucketSweepConfig{
+		return bench.BucketSweep(w, bench.BucketSweepConfig{
 			Workers: wk, Epochs: *epochs, Steps: *steps,
 			BucketBytes: bucketBytes, Fabric: fabric, Algorithms: algos,
 		})
-		return err
 	})
-	run("hierarchy", func() error {
+	run("hierarchy", func() (any, error) {
 		rpns, err := parseInts(*topologyFlag)
 		if err != nil {
-			return fmt.Errorf("bad -topology: %w", err)
+			return nil, fmt.Errorf("bad -topology: %w", err)
 		}
 		bucketBytes, err := parseInts(*hierBucketsFlag)
 		if err != nil {
-			return fmt.Errorf("bad -hierbuckets: %w", err)
+			return nil, fmt.Errorf("bad -hierbuckets: %w", err)
 		}
 		wk := 8
 		if len(workers) > 0 {
 			wk = workers[0]
 		}
-		_, err = bench.HierarchySweep(w, bench.HierarchySweepConfig{
+		return bench.HierarchySweep(w, bench.HierarchySweepConfig{
 			Workers: wk, Epochs: *epochs, Steps: *steps,
 			RanksPerNode: rpns, BucketBytes: bucketBytes,
 			Inter: fabric, Algorithms: algos,
 		})
-		return err
 	})
-	run("mixed", func() error {
+	run("mixed", func() (any, error) {
 		mixBuckets, err := parseInts(*mixBucketsFlag)
 		if err != nil {
-			return fmt.Errorf("bad -mixbuckets: %w", err)
+			return nil, fmt.Errorf("bad -mixbuckets: %w", err)
 		}
 		var policies []string
 		if *policiesFlag != "" {
@@ -206,10 +210,42 @@ func main() {
 		if len(workers) > 0 {
 			wk = workers[0]
 		}
-		_, err = bench.MixedSweep(w, bench.MixedSweepConfig{
+		return bench.MixedSweep(w, bench.MixedSweepConfig{
 			Workers: wk, Epochs: *epochs, Steps: *steps,
 			BucketBytes: mixBuckets, Policies: policies, Fabric: fabric,
 		})
-		return err
 	})
+	run("auto", func() (any, error) {
+		// The planner study is modelled, not trained, so it can afford the
+		// widest configured worker count — the narrow ones collapse the
+		// two-tier pair onto a single node and hide the topology choice.
+		wk := 8
+		if len(workers) > 0 {
+			wk = workers[0]
+			for _, p := range workers[1:] {
+				if p > wk {
+					wk = p
+				}
+			}
+		}
+		return bench.AutoSweep(w, bench.AutoSweepConfig{
+			Workers: wk, ParamScale: *scale, Specs: algos,
+			TrainFamily: "fnn3", Epochs: *epochs, Steps: *steps,
+		})
+	})
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+	}
 }

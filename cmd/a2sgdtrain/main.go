@@ -3,7 +3,9 @@
 //
 // -algo accepts any registered algorithm spec, including parameters and
 // wrappers; -policy switches to a per-bucket policy (pair it with
-// -bucket-bytes so there is more than one bucket to mix over).
+// -bucket-bytes so there is more than one bucket to mix over); -auto hands
+// the whole configuration — bucket boundaries, per-bucket specs, topology —
+// to the cost-model planner, priced on the -fabric network model.
 //
 // Usage:
 //
@@ -11,6 +13,7 @@
 //	a2sgdtrain -family lstm -algo "topk(density=0.01)" -workers 4
 //	a2sgdtrain -algo "periodic(qsgd(levels=8), interval=4)"
 //	a2sgdtrain -policy "mixed(big=a2sgd, small=dense, threshold=16KiB)" -bucket-bytes 8192
+//	a2sgdtrain -auto -fabric nvlink+tcp10g -workers 8
 package main
 
 import (
@@ -22,6 +25,25 @@ import (
 	"a2sgd"
 	"a2sgd/internal/models"
 )
+
+// pricerByName maps the -fabric flag to a network model. width configures
+// the node width of the two-tier pairs (0 = the default 4-slot nodes).
+func pricerByName(name string, width int) (a2sgd.Pricer, error) {
+	if width <= 1 {
+		width = 4
+	}
+	switch name {
+	case "ib100":
+		return a2sgd.IB100(), nil
+	case "tcp10g":
+		return a2sgd.TCP10G(), nil
+	case "nvlink+ib100":
+		return a2sgd.TwoTierIB100(width), nil
+	case "nvlink+tcp10g":
+		return a2sgd.TwoTierTCP10G(width), nil
+	}
+	return nil, fmt.Errorf("unknown fabric %q (have ib100, tcp10g, nvlink+ib100, nvlink+tcp10g)", name)
+}
 
 func main() {
 	family := flag.String("family", "fnn3", "model family: fnn3|vgg16|resnet20|lstm")
@@ -40,23 +62,56 @@ func main() {
 	bucketBytes := flag.Int("bucket-bytes", 0, "gradient bucket budget in bytes (0 = whole model)")
 	overlap := flag.Bool("overlap", false, "pipeline per-bucket sync behind encode")
 	topology := flag.Int("topology", 0, "two-level hierarchy width in ranks per node (0/1 = flat)")
+	auto := flag.Bool("auto", false, "plan buckets, per-bucket specs and topology from the cost model instead of the knobs above")
+	fabricName := flag.String("fabric", "ib100", "network model the -auto planner prices: ib100|tcp10g|nvlink+ib100|nvlink+tcp10g")
 	flag.Parse()
 
 	tc := a2sgd.TrainConfig{
 		Family: *family, Workers: *workers,
 		Epochs: *epochs, StepsPerEpoch: *steps, BatchPerWorker: *batch,
 		Seed: *seed, Momentum: float32(*momentum),
+		TCP: *transport == "tcp",
+	}
+	if *auto {
+		fabric := *fabricName
+		if *topology > 1 && (fabric == "ib100" || fabric == "tcp10g") {
+			// A pinned hierarchy width implies a two-tier pair (mirrors the
+			// façade's Policy:"auto" behavior): flat fabrics have no
+			// ranks-per-node axis to pin.
+			fabric = "nvlink+" + fabric
+		}
+		pricer, err := pricerByName(fabric, *topology)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plan:", err)
+			os.Exit(2)
+		}
+		opts := a2sgd.PlanOptions{Workers: *workers, Pricer: pricer}
+		if *topology > 1 {
+			opts.RanksPerNode = []int{*topology} // pin the width instead of sweeping
+		}
+		sched, err := a2sgd.BuildSchedule(*family, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plan:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("planned on %s: %d bucket(s), ranks/node=%d, %s\n",
+			sched.PricedOn, sched.NumBuckets(), sched.Topology, sched.Composition())
+		fmt.Printf("modelled sync: %.3f ms pipelined, %.3f ms serial\n",
+			sched.PipelinedSyncSec*1000, sched.SerialSyncSec*1000)
+		tc.Schedule = sched
+	} else {
 		// Density always passes through, so -density alongside -policy (or a
 		// parameterized -algo spec) hits the façade's conflict error instead
 		// of silently training the default.
-		Density:     *density,
-		TCP:         *transport == "tcp",
-		BucketBytes: *bucketBytes, Overlap: *overlap, Topology: *topology,
-	}
-	if *policy != "" {
-		tc.Policy = *policy
-	} else {
-		tc.Algorithm = *algo
+		tc.Density = *density
+		tc.BucketBytes = *bucketBytes
+		tc.Overlap = *overlap
+		tc.Topology = *topology
+		if *policy != "" {
+			tc.Policy = *policy
+		} else {
+			tc.Algorithm = *algo
+		}
 	}
 
 	res, err := a2sgd.Train(tc)

@@ -17,9 +17,11 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"a2sgd/internal/compress"
+	_ "a2sgd/internal/core" // registers a2sgd and its ablation variants
 	"a2sgd/internal/models"
 	"a2sgd/internal/netsim"
 )
@@ -29,25 +31,72 @@ import (
 var EvalAlgos = compress.Evaluated()
 
 // newAlgo builds an algorithm spec for an n-parameter model with the
-// paper's default hyperparameters. Any registered spec works, so sweeps can
-// take full specs ("qsgd(levels=8)") as well as bare names.
+// paper's default hyperparameters, straight through the registry. Any
+// registered spec works, so sweeps can take full specs ("qsgd(levels=8)")
+// as well as bare names.
 func newAlgo(spec string, n int, seed uint64) compress.Algorithm {
-	return newAlgoDensity(spec, n, seed, 0)
-}
-
-// newAlgoDensity is newAlgo with a sparsifier-density override (0 keeps the
-// paper default of 0.001).
-func newAlgoDensity(spec string, n int, seed uint64, density float64) compress.Algorithm {
 	o := compress.DefaultOptions(n)
 	o.Seed = seed
-	if density > 0 {
-		o.Density = density
-	}
 	a, err := compress.ParseBuild(spec, o)
 	if err != nil {
 		panic("bench: " + err.Error())
 	}
 	return a
+}
+
+// specWithDensity lowers a sparsifier-density override onto a spec string,
+// in the grammar itself: the parameter is attached wherever an algorithm in
+// the spec tree — the root or a wrapped inner spec — declares "density" in
+// its registered schema and does not already carry one (an explicit
+// density= always wins). Non-sparsifiers pass through untouched, so one
+// override can apply to a mixed algorithm list, and wrappers forward it to
+// their inner algorithms ("periodic(topk, interval=2)" trains topk at the
+// override), matching how the deleted Options.Density plumbing behaved.
+func specWithDensity(spec string, density float64) string {
+	if density <= 0 {
+		return spec
+	}
+	s, err := compress.Parse(spec)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	applyDensity(s, strconv.FormatFloat(density, 'g', -1, 64))
+	return s.String()
+}
+
+// applyDensity walks a spec tree, attaching density= to every algorithm
+// whose schema accepts it (unknown names pass through for ParseBuild's
+// usage-listing error). Positional bare-name arguments are inner algorithm
+// specs; they are promoted to nested specs only when the override applies.
+func applyDensity(s *compress.Spec, density string) {
+	if b, ok := compress.LookupBuilder(s.Name); ok {
+		for _, p := range b.Params {
+			if p.Name == "density" {
+				s.SetKeyed("density", density)
+			}
+		}
+	}
+	for i := range s.Args {
+		a := &s.Args[i]
+		if a.Key != "" {
+			continue
+		}
+		if a.Value.Spec != nil {
+			applyDensity(a.Value.Spec, density)
+			continue
+		}
+		inner, err := a.Value.AsSpec()
+		if err != nil {
+			continue
+		}
+		if _, ok := compress.LookupBuilder(inner.Name); !ok {
+			continue
+		}
+		applyDensity(inner, density)
+		if len(inner.Args) > 0 {
+			a.Value = compress.Value{Spec: inner}
+		}
+	}
 }
 
 // table renders rows as an aligned text table.

@@ -365,3 +365,22 @@ func TestHierarchySweepQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestSpecWithDensityLowersThroughWrappers(t *testing.T) {
+	cases := map[string]string{
+		"topk":                        "topk(density=0.05)",
+		"topk(density=0.01)":          "topk(density=0.01)", // explicit wins
+		"dense":                       "dense",
+		"a2sgd":                       "a2sgd",
+		"periodic(topk, interval=2)":  "periodic(topk(density=0.05), interval=2)",
+		"periodic(a2sgd, interval=4)": "periodic(a2sgd, interval=4)",
+	}
+	for in, want := range cases {
+		if got := specWithDensity(in, 0.05); got != want {
+			t.Errorf("specWithDensity(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := specWithDensity("topk", 0); got != "topk" {
+		t.Errorf("zero override changed spec: %q", got)
+	}
+}

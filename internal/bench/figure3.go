@@ -83,11 +83,13 @@ func Figure3(w io.Writer, cfg Figure3Config) ([]Figure3Series, error) {
 		for _, fam := range cfg.Families {
 			series := make([]Figure3Series, 0, len(cfg.Algos))
 			for _, algo := range cfg.Algos {
-				algo := algo
+				// The density override lowers onto the spec itself (the
+				// registry's schema decides whether the root accepts it).
+				spec := specWithDensity(algo, cfg.Density)
 				res, err := cluster.Train(cluster.Config{
 					Workers: p, Family: fam,
 					NewAlgorithm: func(rank, n int) compress.Algorithm {
-						return newAlgoDensity(algo, n, cfg.Seed*31+uint64(rank)+1, cfg.Density)
+						return newAlgo(spec, n, cfg.Seed*31+uint64(rank)+1)
 					},
 					Epochs: cfg.Epochs, StepsPerEpoch: cfg.Steps,
 					BatchPerWorker: cfg.Batch, Seed: cfg.Seed, Momentum: 0.9,

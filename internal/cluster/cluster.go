@@ -13,6 +13,7 @@ import (
 	"a2sgd/internal/netsim"
 	"a2sgd/internal/nn"
 	"a2sgd/internal/optim"
+	"a2sgd/internal/plan"
 	"a2sgd/internal/stats"
 	"a2sgd/internal/tensor"
 )
@@ -55,6 +56,16 @@ type Config struct {
 	// (convergence-equivalent), not bitwise; for a fixed seed and topology
 	// they are fully deterministic.
 	Topology int
+	// Schedule, when non-nil, replaces the three hand-tuned knobs above with
+	// a complete pre-planned synchronization schedule (typically plan.Build's
+	// output): explicit bucket boundaries, per-bucket algorithm specs, the
+	// topology width and the overlap flag. BucketBytes, Topology and Overlap
+	// must stay zero — the schedule carries them. When NewAlgorithm and
+	// NewBucketAlgorithm are both nil, each bucket's algorithm is built from
+	// Schedule.Specs with the canonical compress.BucketSeed derivation, so a
+	// schedule lowered from a legacy configuration (plan.Lower) reproduces
+	// that configuration's results bitwise.
+	Schedule *plan.Schedule
 	// Epochs and StepsPerEpoch bound the run.
 	Epochs, StepsPerEpoch int
 	// BatchPerWorker is each worker's shard of the global mini-batch.
@@ -264,8 +275,32 @@ func (c *Config) defaults() Config {
 // Train runs the distributed training loop and returns rank 0's view.
 func Train(c Config) (*Result, error) {
 	cfg := c.defaults()
-	if cfg.NewAlgorithm == nil && cfg.NewBucketAlgorithm == nil {
-		return nil, fmt.Errorf("cluster: NewAlgorithm (or NewBucketAlgorithm) is required")
+	sched := cfg.Schedule
+	if sched != nil {
+		if cfg.BucketBytes != 0 || cfg.Topology != 0 || cfg.Overlap {
+			return nil, fmt.Errorf("cluster: Schedule carries the bucket/topology/overlap knobs — leave BucketBytes, Topology and Overlap zero")
+		}
+		if err := sched.Validate(); err != nil {
+			return nil, err
+		}
+		if sched.Workers != 0 && sched.Workers != cfg.Workers {
+			return nil, fmt.Errorf("cluster: schedule planned for %d workers, run configured for %d", sched.Workers, cfg.Workers)
+		}
+		// Pre-build every scheduled spec so construction errors surface
+		// here, not inside the worker group.
+		for _, s := range sched.Specs {
+			if _, err := compress.Build(s, compress.DefaultOptions(4)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.NewAlgorithm == nil && cfg.NewBucketAlgorithm == nil && sched == nil {
+		return nil, fmt.Errorf("cluster: NewAlgorithm, NewBucketAlgorithm or a Schedule is required")
+	}
+	// The schedule, when present, owns the pipeline knobs.
+	overlap, topology := cfg.Overlap, cfg.Topology
+	if sched != nil {
+		overlap, topology = sched.Overlap, sched.Topology
 	}
 
 	img, txt, err := data.ForFamily(cfg.Family, cfg.Seed)
@@ -288,8 +323,8 @@ func Train(c Config) (*Result, error) {
 		// Two-level topology: partition the ranks into nodes so every
 		// collective below — per-bucket exchanges, the setup broadcast, the
 		// final dense sync — runs the hierarchical schedule.
-		if cfg.Topology > 1 {
-			if err := cm.SetTopology(cfg.Topology); err != nil {
+		if topology > 1 {
+			if err := cm.SetTopology(topology); err != nil {
 				return err
 			}
 		}
@@ -302,16 +337,40 @@ func Train(c Config) (*Result, error) {
 		// Partition the flattened gradient at layer granularity and build
 		// one algorithm instance per bucket (per-bucket error feedback,
 		// seeds and A2SGD means). BucketBytes 0 yields a single whole-model
-		// bucket whose instance — and arithmetic — matches the legacy path.
-		plan := nn.PlanBuckets(model.ParamSegments(), cfg.BucketBytes)
-		infos := bucketInfos(plan)
+		// bucket whose instance — and arithmetic — matches the legacy path;
+		// a Schedule supplies explicit (possibly variable-size) boundaries
+		// instead.
+		var bplan nn.BucketPlan
+		if sched != nil {
+			bplan, err = nn.PlanFromBounds(model.ParamSegments(), sched.Bounds)
+			if err != nil {
+				return fmt.Errorf("cluster: schedule does not fit %s: %w", cfg.Family, err)
+			}
+		} else {
+			bplan = nn.PlanBuckets(model.ParamSegments(), cfg.BucketBytes)
+		}
+		infos := bucketInfos(bplan)
 		newBucketAlg := cfg.NewBucketAlgorithm
-		if newBucketAlg == nil {
+		if newBucketAlg == nil && cfg.NewAlgorithm != nil {
 			newBucketAlg = func(rank int, info compress.BucketInfo) compress.Algorithm {
 				return cfg.NewAlgorithm(rank, info.Params)
 			}
 		}
-		bucketed := compress.NewBucketed(plan.Bounds(), func(b, bn int) compress.Algorithm {
+		if newBucketAlg == nil {
+			// Scheduled specs (validated above), with the canonical seed
+			// derivation the façade's policy path uses — what makes lowered
+			// schedules reproduce their legacy configurations bitwise.
+			newBucketAlg = func(rank int, info compress.BucketInfo) compress.Algorithm {
+				o := compress.DefaultOptions(info.Params)
+				o.Seed = compress.BucketSeed(cfg.Seed, rank, info.Index)
+				a, err := compress.Build(sched.Specs[info.Index], o)
+				if err != nil {
+					panic(fmt.Sprintf("cluster: pre-validated schedule spec failed to build: %v", err))
+				}
+				return a
+			}
+		}
+		bucketed := compress.NewBucketed(bplan.Bounds(), func(b, bn int) compress.Algorithm {
 			return newBucketAlg(rank, infos[b])
 		})
 		bounds := bucketed.Bounds()
@@ -328,7 +387,7 @@ func Train(c Config) (*Result, error) {
 		// The setup broadcast is not part of the per-step algorithm cost.
 		cm.ResetTraffic()
 
-		sched, useLARS := optim.PolicyFor(cfg.Family, cfg.Workers)
+		lrSched, useLARS := optim.PolicyFor(cfg.Family, cfg.Workers)
 		momentum := cfg.Momentum
 		lrScale := 1.0
 		if cfg.LRScale > 0 {
@@ -368,7 +427,7 @@ func Train(c Config) (*Result, error) {
 		steps := 0
 
 		for epoch := 0; epoch < cfg.Epochs; epoch++ {
-			lr := sched.LR(epoch, cfg.Epochs) * lrScale
+			lr := lrSched.LR(epoch, cfg.Epochs) * lrScale
 			var lossSum float64
 			for s := 0; s < cfg.StepsPerEpoch; s++ {
 				var batch models.Batch
@@ -412,7 +471,7 @@ func Train(c Config) (*Result, error) {
 					t1 := time.Now()
 					payload := bucketed.EncodeBucket(b, gb)
 					encodeSec += time.Since(t1).Seconds()
-					if cfg.Overlap {
+					if overlap {
 						reqs = append(reqs, cm.Async(func() error {
 							return bucketed.ExchangeBucket(b, payload, gb, cm)
 						}))
@@ -424,7 +483,7 @@ func Train(c Config) (*Result, error) {
 						syncSec += time.Since(t2).Seconds()
 					}
 				}
-				if cfg.Overlap {
+				if overlap {
 					t2 := time.Now()
 					if err := comm.WaitAll(reqs); err != nil {
 						return err
@@ -479,10 +538,13 @@ func Train(c Config) (*Result, error) {
 			res.ExchangeKind = bucketed.ExchangeKind()
 			res.Buckets = nb
 			res.BucketBounds = append([]int(nil), bounds...)
-			res.Overlap = cfg.Overlap
+			res.Overlap = overlap
 			res.Topology = cm.Topology()
 			res.BucketPayloadBytes = bucketed.PayloadBytesPerBucket()
 			res.BucketExchangeKinds = bucketed.ExchangeKinds()
+			if sched != nil {
+				res.Policy = sched.Policy
+			}
 			res.Histograms = hists
 			resMu.Unlock()
 		}

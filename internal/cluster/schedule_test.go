@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"testing"
+
+	"a2sgd/internal/compress"
+	"a2sgd/internal/models"
+	"a2sgd/internal/netsim"
+	"a2sgd/internal/nn"
+	"a2sgd/internal/plan"
+)
+
+func fnn3Segments(t *testing.T) []nn.Segment {
+	t.Helper()
+	m, err := models.New(models.Config{Family: "fnn3", Seed: 1, Reduced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.ParamSegments()
+}
+
+// legacyPolicyCfg builds the runtime's canonical policy-driven config: the
+// same construction (and compress.BucketSeed derivation) the a2sgd façade
+// uses for TrainConfig{BucketBytes, Policy, Topology}.
+func legacyPolicyCfg(t *testing.T, policy string, bucketBytes, topology int, overlap bool) Config {
+	t.Helper()
+	pol, err := compress.ParsePolicy(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg("fnn3", "dense", 4)
+	cfg.NewAlgorithm = nil
+	cfg.BucketBytes = bucketBytes
+	cfg.Topology = topology
+	cfg.Overlap = overlap
+	cfg.NewBucketAlgorithm = func(rank int, info compress.BucketInfo) compress.Algorithm {
+		o := compress.DefaultOptions(info.Params)
+		o.Seed = compress.BucketSeed(cfg.Seed, rank, info.Index)
+		a, err := compress.Build(pol.SpecFor(info), o)
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+	return cfg
+}
+
+// TestScheduleLoweringBitwiseIdentical is the back-compat acceptance pin:
+// for every legacy (policy, bucket, topology) configuration, running the
+// plan.Lower schedule through the schedule path — cluster building the
+// algorithms from Schedule.Specs itself — reproduces the legacy run
+// bitwise (identical per-epoch losses and metrics).
+func TestScheduleLoweringBitwiseIdentical(t *testing.T) {
+	segs := fnn3Segments(t)
+	cases := []struct {
+		name             string
+		policy           string
+		bucket, topology int
+		overlap          bool
+	}{
+		{"whole-model a2sgd", "uniform(a2sgd)", 0, 0, false},
+		{"bucketed qsgd overlap", "uniform(qsgd)", fourBucketBytes, 0, true},
+		{"mixed hierarchical", "mixed(big=a2sgd, small=dense, threshold=8KiB)", fourBucketBytes, 2, true},
+	}
+	for _, tc := range cases {
+		legacy, err := Train(legacyPolicyCfg(t, tc.policy, tc.bucket, tc.topology, tc.overlap))
+		if err != nil {
+			t.Fatalf("%s legacy: %v", tc.name, err)
+		}
+		pol, err := compress.ParsePolicy(tc.policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := quickCfg("fnn3", "dense", 4)
+		cfg.NewAlgorithm = nil // cluster builds from Schedule.Specs
+		cfg.Schedule = plan.Lower(segs, pol, tc.bucket, tc.topology, tc.overlap, cfg.Workers)
+		lowered, err := Train(cfg)
+		if err != nil {
+			t.Fatalf("%s lowered: %v", tc.name, err)
+		}
+		assertRunsIdentical(t, tc.name+" legacy-vs-lowered", legacy, lowered)
+		if lowered.Buckets != legacy.Buckets || lowered.Overlap != legacy.Overlap ||
+			lowered.Topology != legacy.Topology {
+			t.Errorf("%s: run metadata diverged: %d/%v/%d vs %d/%v/%d", tc.name,
+				lowered.Buckets, lowered.Overlap, lowered.Topology,
+				legacy.Buckets, legacy.Overlap, legacy.Topology)
+		}
+		if lowered.Policy != pol.Name() {
+			t.Errorf("%s: result policy %q, want %q", tc.name, lowered.Policy, pol.Name())
+		}
+	}
+}
+
+// TestAutoPlannedRunEndToEnd trains with a planner-built schedule on the
+// in-process fabric and checks the run obeys the schedule.
+func TestAutoPlannedRunEndToEnd(t *testing.T) {
+	segs := fnn3Segments(t)
+	sched, err := plan.Build(segs, plan.Options{
+		Workers: 4, Pricer: netsim.TwoTierTCP10G(2),
+		Candidates: []string{"dense", "a2sgd"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg("fnn3", "dense", 4)
+	cfg.NewAlgorithm = nil
+	cfg.Schedule = sched
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buckets != sched.NumBuckets() {
+		t.Errorf("ran %d buckets, schedule has %d", res.Buckets, sched.NumBuckets())
+	}
+	if res.Overlap != sched.Overlap {
+		t.Errorf("overlap %v, schedule %v", res.Overlap, sched.Overlap)
+	}
+	if sched.Topology > 1 && res.Topology != sched.Topology {
+		t.Errorf("topology %d, schedule %d", res.Topology, sched.Topology)
+	}
+	if res.Policy != sched.Policy {
+		t.Errorf("policy %q, schedule %q", res.Policy, sched.Policy)
+	}
+	// The run must converge like any fnn3 quick run (not a degenerate
+	// schedule): well above the 10-class floor after 3 epochs.
+	if res.FinalMetric() < 0.5 {
+		t.Errorf("auto-planned run reached only %.3f accuracy", res.FinalMetric())
+	}
+}
+
+func TestScheduleConfigValidation(t *testing.T) {
+	segs := fnn3Segments(t)
+	pol, err := compress.ParsePolicy("uniform(dense)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := plan.Lower(segs, pol, 0, 0, false, 4)
+
+	// Schedule + legacy knobs is a conflict.
+	cfg := quickCfg("fnn3", "dense", 4)
+	cfg.Schedule = sched
+	cfg.BucketBytes = 4096
+	if _, err := Train(cfg); err == nil {
+		t.Error("expected Schedule+BucketBytes conflict error")
+	}
+	// Worker mismatch is rejected.
+	cfg = quickCfg("fnn3", "dense", 2)
+	cfg.NewAlgorithm = nil
+	cfg.Schedule = sched // planned for 4
+	if _, err := Train(cfg); err == nil {
+		t.Error("expected worker-count mismatch error")
+	}
+	// A schedule whose bounds don't fit the model is rejected.
+	cfg = quickCfg("fnn3", "dense", 4)
+	cfg.NewAlgorithm = nil
+	cfg.Schedule = &plan.Schedule{
+		Bounds: []int{0, 128}, Specs: []*compress.Spec{{Name: "dense"}},
+	}
+	if _, err := Train(cfg); err == nil {
+		t.Error("expected bounds-mismatch error")
+	}
+	// An invalid spec in the schedule is rejected up front.
+	cfg = quickCfg("fnn3", "dense", 4)
+	cfg.NewAlgorithm = nil
+	cfg.Schedule = &plan.Schedule{
+		Bounds: []int{0, 9178}, Specs: []*compress.Spec{{Name: "no-such"}},
+	}
+	if _, err := Train(cfg); err == nil {
+		t.Error("expected unknown-spec error")
+	}
+}

@@ -109,6 +109,14 @@ type Builder struct {
 	// defaults); spec parameters arrive in args and take precedence. Build
 	// may reject out-of-range values.
 	Build func(o Options, args BuildArgs) (Algorithm, error)
+	// Cost, when non-nil, estimates the algorithm's planning costs (encode
+	// time, payload, collective) for the given parameters without building
+	// anything — what SpecCost, the auto policy and the plan package price
+	// candidate specs with. args carries the typed spec parameters only
+	// (args.Inner is nil); inner holds the already-resolved cost models of
+	// wrapped specs, one per Wraps. Nil falls back to building the
+	// algorithm once and sampling its PayloadBytes/ExchangeKind.
+	Cost func(o Options, args BuildArgs, inner []CostModel) CostModel
 }
 
 var registry = struct {

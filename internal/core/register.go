@@ -1,22 +1,31 @@
 package core
 
-import "a2sgd/internal/compress"
+import (
+	"a2sgd/internal/compress"
+	"a2sgd/internal/netsim"
+)
 
 // A2SGD and its ablation variants self-register into the shared algorithm
 // registry, so any binary that links this package can spell them in specs
-// ("a2sgd", "periodic(a2sgd, interval=4)", "mixed(big=a2sgd, ...)").
+// ("a2sgd", "periodic(a2sgd, interval=4)", "mixed(big=a2sgd, ...)"). Every
+// variant also registers its cost model: one parallel measuring pass over
+// the gradient (~2 ns/element on a CPU core), and the paper's O(1) payload —
+// the two signed means, 8 bytes regardless of length.
 func init() {
-	register := func(name, summary string, opts ...Option) {
+	register := func(name, summary string, kind netsim.ExchangeKind, opts ...Option) {
 		compress.Register(name, compress.Builder{
 			Summary: summary,
 			Build: func(o compress.Options, _ compress.BuildArgs) (compress.Algorithm, error) {
 				return New(o.N, append([]Option{WithAllreduce(o.Allreduce)}, opts...)...), nil
 			},
+			Cost: func(compress.Options, compress.BuildArgs, []compress.CostModel) compress.CostModel {
+				return compress.CostModel{EncSecPerElem: 2e-9, FixedBytes: 8, Kind: kind}
+			},
 		})
 	}
-	register("a2sgd", "two-level gradient averaging, O(1) communication (the paper)")
-	register("a2sgd-fused", "A2SGD with the fused single-pass update", WithMode(Fused))
-	register("a2sgd-noef", "A2SGD ablation: error feedback disabled", WithoutErrorFeedback())
-	register("a2sgd-onemean", "A2SGD ablation: single signed mean", WithOneMean())
-	register("a2sgd-allgather", "A2SGD with the allgather mean exchange (§4.4)", WithAllgather())
+	register("a2sgd", "two-level gradient averaging, O(1) communication (the paper)", netsim.ExchangeAllreduce)
+	register("a2sgd-fused", "A2SGD with the fused single-pass update", netsim.ExchangeAllreduce, WithMode(Fused))
+	register("a2sgd-noef", "A2SGD ablation: error feedback disabled", netsim.ExchangeAllreduce, WithoutErrorFeedback())
+	register("a2sgd-onemean", "A2SGD ablation: single signed mean", netsim.ExchangeAllreduce, WithOneMean())
+	register("a2sgd-allgather", "A2SGD with the allgather mean exchange (§4.4)", netsim.ExchangeAllgather, WithAllgather())
 }

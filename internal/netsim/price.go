@@ -1,0 +1,85 @@
+package netsim
+
+// Planning query API. The planner (a2sgd/internal/plan) asks two questions of
+// a network model: "what does this bucket schedule cost?" (PriceSchedule) and
+// "which of these fabrics/topologies runs it cheapest?" (CheapestPlan). Both
+// are thin, deterministic wrappers over the per-bucket price laws, factored
+// out so sweeps and tests price candidate schedules without re-deriving the
+// recurrences.
+
+// SchedulePrice bundles the two modelled execution times of one bucket
+// schedule: the overlap pipeline makespan and the back-to-back serial sum.
+type SchedulePrice struct {
+	// Pipelined is the encode→collective pipeline makespan (bucket b's
+	// collective hides behind the encodes of buckets b+1…).
+	Pipelined float64
+	// Serial runs every encode and collective back to back.
+	Serial float64
+}
+
+// PriceSchedule prices one bucket schedule on a pricer: kinds[b], encSec[b]
+// and bucketBytes[b] describe bucket b's collective, local compression time
+// and per-worker payload (short kinds/encSec slices repeat their last
+// element, as in the *SyncTimeKinds laws).
+func PriceSchedule(pr Pricer, kinds []ExchangeKind, encSec []float64, bucketBytes []int64, p int) SchedulePrice {
+	return SchedulePrice{
+		Pipelined: pr.PipelinedSyncTimeKinds(kinds, encSec, bucketBytes, p),
+		Serial:    pr.SerialSyncTimeKinds(kinds, encSec, bucketBytes, p),
+	}
+}
+
+// CheapestPlan returns the index of the candidate pricer that runs the given
+// bucket schedule with the smallest pipelined makespan, along with its
+// price. Ties keep the earliest candidate (deterministic for a fixed
+// candidate order); an empty candidate list returns -1.
+func CheapestPlan(candidates []Pricer, kinds []ExchangeKind, encSec []float64, bucketBytes []int64, p int) (int, SchedulePrice) {
+	best := -1
+	var bestPrice SchedulePrice
+	for i, pr := range candidates {
+		price := PriceSchedule(pr, kinds, encSec, bucketBytes, p)
+		if best < 0 || price.Pipelined < bestPrice.Pipelined {
+			best, bestPrice = i, price
+		}
+	}
+	return best, bestPrice
+}
+
+// BucketSizer is implemented by pricers that can suggest how large a bucket
+// must be before the per-collective latency of their priced (slowest) tier
+// is amortized. Both Fabric and TwoTier implement it.
+type BucketSizer interface {
+	// AmortizedBucketBytes returns the smallest per-worker bucket payload
+	// for which the latency (α) share of one collective is at most
+	// latencyFrac of its total cost.
+	AmortizedBucketBytes(p int, latencyFrac float64) int64
+}
+
+var (
+	_ BucketSizer = Fabric{}
+	_ BucketSizer = TwoTier{}
+)
+
+// AmortizedBucketBytes implements BucketSizer for a flat fabric. For the
+// ring allreduce of B bytes — 2(p−1) steps of α + (B/p)β — the latency share
+// is α/(α + Bβ/p), so the bound is B ≥ p·α·(1−f)/(f·β).
+func (f Fabric) AmortizedBucketBytes(p int, latencyFrac float64) int64 {
+	if p < 2 {
+		p = 2
+	}
+	if latencyFrac <= 0 || latencyFrac >= 1 || f.Beta <= 0 {
+		return int64(1) << 30 // degenerate: nothing to amortize against
+	}
+	b := float64(p) * f.Alpha * (1 - latencyFrac) / (latencyFrac * f.Beta)
+	if b < 1 {
+		b = 1
+	}
+	return int64(b)
+}
+
+// AmortizedBucketBytes implements BucketSizer for the two-tier law: the tier
+// worth amortizing is the slow inter-node leader exchange, so the flat bound
+// applies to the Inter fabric at the node count.
+func (t TwoTier) AmortizedBucketBytes(p int, latencyFrac float64) int64 {
+	_, nodes := t.shape(p)
+	return t.Inter.AmortizedBucketBytes(nodes, latencyFrac)
+}

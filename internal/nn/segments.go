@@ -61,6 +61,11 @@ func (p BucketPlan) NumBuckets() int { return len(p.Buckets) }
 // whole-model path). Zero-length segments attach to the current bucket and
 // never open a new one.
 func PlanBuckets(segs []Segment, bucketBytes int) BucketPlan {
+	return PlanBucketsSized(segs, []int{bucketBytes})
+}
+
+// segTotal verifies that segments tile [0, n) contiguously and returns n.
+func segTotal(segs []Segment) int {
 	n := 0
 	for i, s := range segs {
 		if s.Off != n {
@@ -69,17 +74,38 @@ func PlanBuckets(segs []Segment, bucketBytes int) BucketPlan {
 		}
 		n += s.Len
 	}
+	return n
+}
+
+// PlanBucketsSized is the variable-size generalization of PlanBuckets:
+// bucket i is packed against budgetsBytes[i], with the last entry repeating
+// for every later bucket (so a one-element slice reproduces PlanBuckets
+// exactly). A non-positive budget makes that bucket unbounded — it absorbs
+// every remaining segment. The planner uses this to emit schedules whose
+// bucket sizes vary along the vector (e.g. a dense, finely-split tail whose
+// exposed synchronization is cheap, behind large amortizing buckets).
+func PlanBucketsSized(segs []Segment, budgetsBytes []int) BucketPlan {
+	n := segTotal(segs)
 	plan := BucketPlan{N: n}
 	if len(segs) == 0 {
 		return plan
 	}
-	budget := bucketBytes / 4 // elements per bucket
-	if bucketBytes <= 0 {
-		budget = n // single bucket
+	if len(budgetsBytes) == 0 {
+		budgetsBytes = []int{0}
+	}
+	budget := func(bucket int) int { // elements allowed in this bucket
+		bb := budgetsBytes[len(budgetsBytes)-1]
+		if bucket < len(budgetsBytes) {
+			bb = budgetsBytes[bucket]
+		}
+		if bb <= 0 {
+			return n // unbounded
+		}
+		return bb / 4
 	}
 	cur := Bucket{Off: 0}
 	for _, s := range segs {
-		if cur.Len > 0 && s.Len > 0 && cur.Len+s.Len > budget {
+		if cur.Len > 0 && s.Len > 0 && cur.Len+s.Len > budget(len(plan.Buckets)) {
 			plan.Buckets = append(plan.Buckets, cur)
 			cur = Bucket{Off: s.Off}
 		}
@@ -88,6 +114,42 @@ func PlanBuckets(segs []Segment, bucketBytes int) BucketPlan {
 	}
 	plan.Buckets = append(plan.Buckets, cur)
 	return plan
+}
+
+// PlanFromBounds reconstructs the bucket plan a set of cumulative offsets
+// describes — the inverse of BucketPlan.Bounds, used when a pre-planned
+// schedule (whose boundaries were chosen against a priced fabric) is handed
+// to a worker that only knows its own segment list. Bounds must start at 0,
+// be strictly increasing, end at the segments' total length, and fall on
+// segment boundaries (tensors are never split). Zero-length segments attach
+// to the bucket preceding them, matching PlanBuckets, so
+// PlanFromBounds(segs, PlanBuckets(segs, b).Bounds()) reproduces the
+// original plan exactly.
+func PlanFromBounds(segs []Segment, bounds []int) (BucketPlan, error) {
+	n := segTotal(segs)
+	if len(bounds) < 2 || bounds[0] != 0 || bounds[len(bounds)-1] != n {
+		return BucketPlan{}, fmt.Errorf("nn: bounds %v must run from 0 to the %d-element vector", bounds, n)
+	}
+	k := len(bounds) - 1
+	plan := BucketPlan{N: n, Buckets: make([]Bucket, k)}
+	for b := 0; b < k; b++ {
+		if bounds[b+1] <= bounds[b] {
+			return BucketPlan{}, fmt.Errorf("nn: bounds %v must be strictly increasing", bounds)
+		}
+		plan.Buckets[b] = Bucket{Off: bounds[b], Len: bounds[b+1] - bounds[b]}
+	}
+	bi := 0
+	for _, s := range segs {
+		for s.Len > 0 && s.Off >= bounds[bi+1] {
+			bi++
+		}
+		if s.Len > 0 && s.Off+s.Len > bounds[bi+1] {
+			return BucketPlan{}, fmt.Errorf("nn: bound %d splits segment %s [%d,%d) — bounds must fall on segment boundaries",
+				bounds[bi+1], s.Name, s.Off, s.Off+s.Len)
+		}
+		plan.Buckets[bi].Segments = append(plan.Buckets[bi].Segments, s)
+	}
+	return plan, nil
 }
 
 // Bounds returns the len(Buckets)+1 cumulative offsets delimiting the

@@ -156,3 +156,85 @@ func TestParamSegmentsMatchGatherLayout(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanBucketsSizedVariableBudgets(t *testing.T) {
+	// Per-bucket budgets: bucket 0 gets 16 bytes (4 elems), later buckets
+	// repeat the last entry (8 bytes = 2 elems).
+	p := PlanBucketsSized(segsFromLens(4, 2, 2, 2), []int{16, 8})
+	checkTiling(t, p)
+	if p.NumBuckets() != 4 {
+		t.Fatalf("want 4 buckets, got %+v", p.Buckets)
+	}
+	for i, want := range []int{4, 2, 2, 2} {
+		if p.Buckets[i].Len != want {
+			t.Fatalf("bucket lens %+v", p.Buckets)
+		}
+	}
+	// A wider head budget packs the first two segments together.
+	p = PlanBucketsSized(segsFromLens(4, 2, 2, 2), []int{24, 8})
+	checkTiling(t, p)
+	if p.NumBuckets() != 3 || p.Buckets[0].Len != 6 {
+		t.Fatalf("want 3 buckets with a 6-elem head, got %+v", p.Buckets)
+	}
+}
+
+func TestPlanBucketsSizedMatchesPlanBuckets(t *testing.T) {
+	segs := segsFromLens(10, 0, 6, 7, 1, 30, 2)
+	for _, bb := range []int{0, -1, 8, 24, 40, 1 << 20} {
+		a, b := PlanBuckets(segs, bb), PlanBucketsSized(segs, []int{bb})
+		if len(a.Buckets) != len(b.Buckets) {
+			t.Fatalf("budget %d: %d vs %d buckets", bb, len(a.Buckets), len(b.Buckets))
+		}
+	}
+	// An unbounded later budget absorbs the rest.
+	p := PlanBucketsSized(segs, []int{24, 0})
+	checkTiling(t, p)
+	if p.NumBuckets() != 2 {
+		t.Fatalf("want 2 buckets, got %+v", p.Buckets)
+	}
+}
+
+func TestPlanFromBoundsRoundTrip(t *testing.T) {
+	segs := segsFromLens(4, 0, 4, 3, 0, 9, 1, 0)
+	for _, bb := range []int{0, 16, 28, 1 << 20} {
+		want := PlanBuckets(segs, bb)
+		got, err := PlanFromBounds(segs, want.Bounds())
+		if err != nil {
+			t.Fatalf("budget %d: %v", bb, err)
+		}
+		if len(got.Buckets) != len(want.Buckets) || got.N != want.N {
+			t.Fatalf("budget %d: plan %+v, want %+v", bb, got, want)
+		}
+		for i := range want.Buckets {
+			w, g := want.Buckets[i], got.Buckets[i]
+			if w.Off != g.Off || w.Len != g.Len || len(w.Segments) != len(g.Segments) {
+				t.Fatalf("budget %d bucket %d: %+v vs %+v", bb, i, g, w)
+			}
+			for j := range w.Segments {
+				if w.Segments[j] != g.Segments[j] {
+					t.Fatalf("budget %d bucket %d segment %d differs", bb, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanFromBoundsRejectsBadBounds(t *testing.T) {
+	segs := segsFromLens(4, 4, 4)
+	for _, bounds := range [][]int{
+		nil,           // empty
+		{0},           // too short
+		{0, 4, 4, 12}, // not strictly increasing
+		{0, 6, 12},    // splits the middle segment
+		{4, 8, 12},    // does not start at 0
+		{0, 4, 8},     // does not reach n
+	} {
+		if _, err := PlanFromBounds(segs, bounds); err == nil {
+			t.Errorf("bounds %v: expected error", bounds)
+		}
+	}
+	// The single whole-vector bucket is valid.
+	if _, err := PlanFromBounds(segs, []int{0, 12}); err != nil {
+		t.Errorf("whole-vector bounds: %v", err)
+	}
+}
