@@ -16,6 +16,7 @@ import (
 
 	"a2sgd/internal/bench"
 	"a2sgd/internal/comm"
+	"a2sgd/internal/comm/tcpnet"
 	"a2sgd/internal/compress"
 	"a2sgd/internal/core"
 	"a2sgd/internal/netsim"
@@ -74,6 +75,126 @@ func BenchmarkFigure2A2SGD1M(b *testing.B)     { benchEncode(b, "a2sgd", 1_000_0
 func BenchmarkFigure2TopK10M(b *testing.B)     { benchEncode(b, "topk", 10_000_000) }
 func BenchmarkFigure2QSGD10M(b *testing.B)     { benchEncode(b, "qsgd", 10_000_000) }
 func BenchmarkFigure2A2SGD10M(b *testing.B)    { benchEncode(b, "a2sgd", 10_000_000) }
+
+// ---- Hot path: steady-state ns/op and allocs/op on vgg16-scale buckets ----
+//
+// These benchmarks pin the zero-allocation contract (ARCHITECTURE.md "Memory
+// discipline & hot path"): after the warm-up call grows instance scratch,
+// encode/decode/sync run without touching the allocator. CI smokes them with
+// `go test -bench=HotPath -benchtime=1x`; `a2sgdbench -experiment hotpath
+// -json BENCH_hotpath.json` records the trajectory per PR.
+
+// hotN is the vgg16-scale bucket: 1 M float32 elements = 4 MiB.
+const hotN = 1 << 20
+
+func benchHotEncode(b *testing.B, name string) {
+	alg, err := NewAlgorithm(name, DefaultOptions(hotN))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := randGrad(hotN)
+	alg.Encode(g) // warm-up: grows instance scratch once
+	b.SetBytes(4 * hotN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Encode(g)
+	}
+}
+
+func BenchmarkHotPathEncodeTopK(b *testing.B)      { benchHotEncode(b, "topk") }
+func BenchmarkHotPathEncodeGaussianK(b *testing.B) { benchHotEncode(b, "gaussiank") }
+func BenchmarkHotPathEncodeQSGD(b *testing.B)      { benchHotEncode(b, "qsgd") }
+func BenchmarkHotPathEncodeA2SGD(b *testing.B)     { benchHotEncode(b, "a2sgd") }
+
+func BenchmarkHotPathDecodeQSGD(b *testing.B) {
+	o := DefaultOptions(hotN)
+	q := compress.NewQSGD(o)
+	g := randGrad(hotN)
+	p := q.Encode(g)
+	stream := append([]float32(nil), p.Data...) // retained copy (payload contract)
+	dst := make([]float32, hotN)
+	q.Decode(stream, dst)
+	b.SetBytes(4 * hotN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Decode(stream, dst)
+	}
+}
+
+// BenchmarkHotPathInprocAllreduce is the warmed collective: 4 ranks in
+// lockstep on a persistent fabric, ring algorithm (the bandwidth-bound case).
+func BenchmarkHotPathInprocAllreduce(b *testing.B) {
+	const workers = 4
+	f := comm.NewInprocFabric(workers)
+	defer f.Shutdown()
+	cs := f.Communicators()
+	vs := make([][]float32, workers)
+	for r := range vs {
+		vs[r] = randGrad(hotN)
+	}
+	run := func(iters int) {
+		var wg sync.WaitGroup
+		for r := 0; r < workers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					if err := cs[r].AllreduceMean(vs[r], comm.AlgoRing); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+	run(1) // warm-up: grows communicator scratch
+	b.SetBytes(4 * hotN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	run(b.N)
+}
+
+// benchHotTCP streams b.N framed 4 MiB buckets from rank 0 to rank 1 over
+// the loopback mesh — the transport-level cost of one bucket's wire hop.
+func BenchmarkHotPathTCPSendRecv4MiB(b *testing.B) {
+	ts, shutdown, err := tcpnet.NewLocalMesh(2)
+	if err != nil {
+		b.Skip(err)
+	}
+	defer shutdown()
+	src := randGrad(hotN)
+	dst := make([]float32, hotN)
+	run := func(iters int) error {
+		done := make(chan error, 1)
+		go func() {
+			for i := 0; i < iters; i++ {
+				if err := ts[1].Recv(0, 7, dst); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+		for i := 0; i < iters; i++ {
+			if err := ts[0].Send(1, 7, src); err != nil {
+				return err
+			}
+		}
+		return <-done
+	}
+	if err := run(1); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4 * hotN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := run(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
 
 // ---- Figure 3 (and 6–8): convergence step per algorithm ----
 

@@ -49,7 +49,7 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|hierarchy|mixed|auto|all")
+	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|hierarchy|mixed|auto|hotpath|all")
 	maxN := flag.Int("maxn", 25_000_000, "largest parameter count for fig2")
 	scale := flag.Int("scale", 10, "divide paper parameter counts by this for fig4/fig5/table2/auto (1 = full)")
 	workersFlag := flag.String("workers", "2,4,8,16", "worker counts for fig3/fig4/fig5")
@@ -232,6 +232,13 @@ func main() {
 			Workers: wk, ParamScale: *scale, Specs: algos,
 			TrainFamily: "fnn3", Epochs: *epochs, Steps: *steps,
 		})
+	})
+
+	run("hotpath", func() (any, error) {
+		// Steady-state ns/op + allocs/op of the zero-allocation hot path.
+		// `a2sgdbench -experiment hotpath -json BENCH_hotpath.json` is how
+		// the per-PR perf trajectory file is regenerated (CI uploads it).
+		return bench.HotPath(w)
 	})
 
 	if *jsonPath != "" {

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+
+	"a2sgd/internal/comm"
+	"a2sgd/internal/comm/tcpnet"
+	"a2sgd/internal/compress"
+	"a2sgd/internal/tensor"
+)
+
+// HotPathPoint is one steady-state hot-path measurement: the per-operation
+// wall time, allocation count and allocated bytes of a warmed instance.
+// Allocs/op is the headline — the zero-allocation contract (ARCHITECTURE.md
+// "Memory discipline & hot path") pins it to 0 for the encode and inproc
+// collective rows.
+type HotPathPoint struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"` // elements per operation
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// HotPathReport aggregates one run of the hot-path suite — the payload of
+// BENCH_hotpath.json, the perf-trajectory file regenerated per PR by
+// `a2sgdbench -experiment hotpath -json`.
+type HotPathReport struct {
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	ZeroCopyNet bool           `json:"zero_copy_net"` // tensor.BitsZeroCopy on this build
+	Points      []HotPathPoint `json:"points"`
+}
+
+// hotPathN is the vgg16-scale bucket the suite measures: 1 M float32
+// elements = 4 MiB, the raw size of a large convolutional layer's bucket.
+const hotPathN = 1 << 20
+
+// HotPath measures the steady-state hot path: warmed-instance Encode/Decode
+// for the paper's compression set, the inproc allreduce, the tcpnet framed
+// send/receive of a 4 MiB bucket, and one full bucketed synchronization step.
+// Every measurement excludes the warm-up call that grows instance scratch, so
+// allocs/op reports the steady state the training loop lives in.
+func HotPath(w io.Writer) (*HotPathReport, error) {
+	rep := &HotPathReport{GOMAXPROCS: runtime.GOMAXPROCS(0), ZeroCopyNet: tensor.BitsZeroCopy()}
+	g := make([]float32, hotPathN)
+	tensor.NewRNG(11).NormVec(g, 0, 0.05)
+
+	add := func(name string, n int, bytesMoved int64, r testing.BenchmarkResult) {
+		p := HotPathPoint{
+			Name: name, N: n,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if bytesMoved > 0 && r.NsPerOp() > 0 {
+			p.MBPerSec = float64(bytesMoved) / 1e6 * 1e9 / float64(r.NsPerOp())
+		}
+		rep.Points = append(rep.Points, p)
+	}
+
+	// Encode on a warm instance, per algorithm (Figure 2's quantity, now with
+	// the allocation count alongside).
+	for _, name := range Figure2Algos {
+		alg := newAlgo(name, hotPathN, 3)
+		alg.Encode(g) // warm-up: grows the instance scratch once
+		add("encode/"+name, hotPathN, 4*hotPathN, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				alg.Encode(g)
+			}
+		}))
+	}
+
+	// QSGD decode of one packed stream into a warm destination.
+	{
+		o := compress.DefaultOptions(hotPathN)
+		o.Seed = 3
+		q := compress.NewQSGD(o)
+		p := q.Encode(g)
+		stream := append([]float32(nil), p.Data...) // retained copy (payload contract)
+		dst := make([]float32, hotPathN)
+		q.Decode(stream, dst)
+		add("decode/qsgd", hotPathN, 4*hotPathN, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q.Decode(stream, dst)
+			}
+		}))
+	}
+
+	// Inproc ring allreduce, 4 ranks in lockstep on one persistent fabric.
+	add("allreduce/inproc-ring-4", hotPathN, 4*hotPathN, testing.Benchmark(func(b *testing.B) {
+		const workers = 4
+		f := comm.NewInprocFabric(workers)
+		cs := f.Communicators()
+		vs := make([][]float32, workers)
+		for r := range vs {
+			vs[r] = make([]float32, hotPathN)
+		}
+		warmAndRun := func(iters int) error {
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for r := 0; r < workers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						if err := cs[r].AllreduceMean(vs[r], comm.AlgoRing); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			select {
+			case err := <-errs:
+				return err
+			default:
+				return nil
+			}
+		}
+		if err := warmAndRun(1); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if err := warmAndRun(b.N); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		f.Shutdown()
+	}))
+
+	// tcpnet framed transfer of one 4 MiB bucket: rank 0 streams to rank 1.
+	var meshErr error
+	add("tcpnet/sendrecv-4MiB", hotPathN, 2*4*hotPathN, testing.Benchmark(func(b *testing.B) {
+		ts, shutdown, err := tcpnet.NewLocalMesh(2)
+		if err != nil {
+			meshErr = err
+			b.Skip(err)
+		}
+		defer shutdown()
+		src := make([]float32, hotPathN)
+		copy(src, g)
+		dst := make([]float32, hotPathN)
+		run := func(iters int) error {
+			done := make(chan error, 1)
+			go func() {
+				for i := 0; i < iters; i++ {
+					if err := ts[1].Recv(0, 7, dst); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+			for i := 0; i < iters; i++ {
+				if err := ts[0].Send(1, 7, src); err != nil {
+					return err
+				}
+			}
+			return <-done
+		}
+		if err := run(1); err != nil { // warm-up: grows the wire scratch
+			meshErr = err
+			b.Skip(err)
+		}
+		b.ResetTimer()
+		if err := run(b.N); err != nil {
+			meshErr = err
+			b.Skip(err)
+		}
+	}))
+	if meshErr != nil {
+		return nil, fmt.Errorf("bench: hotpath tcpnet: %w", meshErr)
+	}
+
+	// One full bucketed synchronization step: 4 workers, the 4 MiB gradient in
+	// 4 buckets, encode + ordered exchange per bucket on the progress worker —
+	// the shape of the training runtime's overlapped step loop.
+	add("step/bucketed-a2sgd-4x4", hotPathN, 4*hotPathN, testing.Benchmark(func(b *testing.B) {
+		const workers, buckets = 4, 4
+		f := comm.NewInprocFabric(workers)
+		cs := f.Communicators()
+		bounds := make([]int, buckets+1)
+		for i := range bounds {
+			bounds[i] = i * hotPathN / buckets
+		}
+		algs := make([]*compress.Bucketed, workers)
+		grads := make([][]float32, workers)
+		for r := 0; r < workers; r++ {
+			rr := r
+			algs[r] = compress.NewBucketed(bounds, func(bk, n int) compress.Algorithm {
+				o := compress.DefaultOptions(n)
+				o.Seed = compress.BucketSeed(5, rr, bk)
+				a, err := compress.Build(&compress.Spec{Name: "a2sgd"}, o)
+				if err != nil {
+					panic(err)
+				}
+				return a
+			})
+			grads[r] = make([]float32, hotPathN)
+			copy(grads[r], g)
+		}
+		step := func(r int) error {
+			bk := algs[r]
+			reqs := make([]comm.Request, 0, buckets)
+			for i := 0; i < buckets; i++ {
+				i := i
+				gb := bk.BucketSlice(i, grads[r])
+				p := bk.EncodeBucket(i, gb)
+				reqs = append(reqs, cs[r].Async(func() error {
+					return bk.ExchangeBucket(i, p, gb, cs[r])
+				}))
+			}
+			return comm.WaitAll(reqs)
+		}
+		run := func(iters int) error {
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for r := 0; r < workers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						if err := step(r); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			select {
+			case err := <-errs:
+				return err
+			default:
+				return nil
+			}
+		}
+		if err := run(1); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if err := run(b.N); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		f.Shutdown()
+	}))
+
+	fmt.Fprintf(w, "Hot path steady state (n = %d elements, GOMAXPROCS = %d, zero-copy net = %v)\n",
+		hotPathN, rep.GOMAXPROCS, rep.ZeroCopyNet)
+	rows := make([][]string, 0, len(rep.Points))
+	for _, p := range rep.Points {
+		mb := ""
+		if p.MBPerSec > 0 {
+			mb = fmt.Sprintf("%.0f", p.MBPerSec)
+		}
+		rows = append(rows, []string{
+			p.Name, fmt.Sprintf("%.0f", p.NsPerOp), fmt.Sprintf("%d", p.AllocsPerOp),
+			fmt.Sprintf("%d", p.BytesPerOp), mb,
+		})
+	}
+	table(w, []string{"op", "ns/op", "allocs/op", "B/op", "MB/s"}, rows)
+	return rep, nil
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -113,7 +114,12 @@ type Result struct {
 
 	// Cost components, averaged per training step (rank 0).
 	AvgComputeSec float64 // forward + backward
-	AvgEncodeSec  float64 // compression compute (Figure 2's quantity)
+	// AvgEncodeSec is the compression compute per step (Figure 2's
+	// quantity), summed across buckets. It is aggregate encode CPU time:
+	// when the overlap path encodes buckets on the parallel worker pool,
+	// the per-bucket durations overlap in wall time, so this can exceed
+	// the wall-clock encode window (and includes contention).
+	AvgEncodeSec float64
 	// AvgSyncSec is the wall time the step spent blocked on the collective:
 	// the full collective time on the synchronous path, only the *exposed*
 	// (non-hidden) time when Overlap pipelines sync behind encode.
@@ -407,6 +413,72 @@ func Train(c Config) (*Result, error) {
 		grad := make([]float32, n)
 		reqScratch := make([]comm.Request, 0, nb)
 
+		// encodeBucket gathers bucket b (unless the histogram capture already
+		// gathered the whole gradient), checks it is finite and encodes it,
+		// returning the payload and the encode duration. Both the serial
+		// loop and the parallel worker pool below run exactly this.
+		encodeBucket := func(b int, histStep bool) (compress.Payload, float64, error) {
+			lo, hi := bounds[b], bounds[b+1]
+			gb := grad[lo:hi]
+			if !histStep {
+				model.GatherGradsRange(grad, lo, hi) // disjoint ranges: safe concurrently
+			}
+			if tensor.HasNaNOrInf(gb) {
+				return compress.Payload{}, 0, fmt.Errorf("cluster: worker %d produced a non-finite gradient (diverged — lower the learning rate)", rank)
+			}
+			t1 := time.Now()
+			p := bucketed.EncodeBucket(b, gb)
+			return p, time.Since(t1).Seconds(), nil
+		}
+
+		// Parallel bucket encode (overlap path): a worker pool gathers and
+		// encodes buckets concurrently — every bucket owns its algorithm
+		// instance, scratch and RNG stream, so the encoded payloads are
+		// bitwise identical to serial encoding — while the step loop below
+		// enqueues each bucket's exchange in strict bucket order as soon as
+		// that bucket's encode lands. The collectives therefore launch in
+		// the same deterministic order with the same operands as the serial
+		// path (the bitwise-determinism tests cover both). The pool is
+		// sized by this process's share of the CPUs: in-process experiments
+		// run all cfg.Workers ranks in one process, so each rank claiming
+		// GOMAXPROCS workers would only oversubscribe.
+		encWorkers := 0
+		if overlap && nb > 1 {
+			if w := runtime.GOMAXPROCS(0) / cfg.Workers; w > 1 {
+				encWorkers = w
+				if encWorkers > nb {
+					encWorkers = nb
+				}
+			}
+		}
+		var (
+			encPayloads []compress.Payload
+			encDur      []float64
+			encErr      []error
+			encDone     []chan struct{}
+			encWork     chan int
+			encHist     bool // current step's histogram-gather flag
+		)
+		if encWorkers > 0 {
+			encPayloads = make([]compress.Payload, nb)
+			encDur = make([]float64, nb)
+			encErr = make([]error, nb)
+			encDone = make([]chan struct{}, nb)
+			for b := range encDone {
+				encDone[b] = make(chan struct{}, 1)
+			}
+			encWork = make(chan int, nb)
+			for w := 0; w < encWorkers; w++ {
+				go func() {
+					for b := range encWork {
+						encPayloads[b], encDur[b], encErr[b] = encodeBucket(b, encHist)
+						encDone[b] <- struct{}{}
+					}
+				}()
+			}
+			defer close(encWork)
+		}
+
 		var evalSet models.Batch
 		if rank == 0 {
 			if img != nil {
@@ -456,31 +528,55 @@ func Train(c Config) (*Result, error) {
 				// Bucketed gradient pipeline: gather bucket b, encode it,
 				// and either run its collective inline (synchronous) or
 				// post it to the communicator's progress worker so it
-				// proceeds while bucket b+1 is gathered and encoded.
+				// proceeds while bucket b+1 is gathered and encoded. With
+				// encode workers, gather+encode of all buckets fans out
+				// across the pool and the exchanges are still enqueued in
+				// bucket order as each encode completes.
 				reqs := reqScratch[:0]
-				for b := 0; b < nb; b++ {
-					lo, hi := bounds[b], bounds[b+1]
-					gb := grad[lo:hi]
-					if !histStep {
-						model.GatherGradsRange(grad, lo, hi)
+				if encWorkers > 0 {
+					encHist = histStep // read by workers after the channel send below
+					for b := 0; b < nb; b++ {
+						encWork <- b
 					}
-					if tensor.HasNaNOrInf(gb) {
-						_ = comm.WaitAll(reqs) // drain in-flight buckets first
-						return fmt.Errorf("cluster: worker %d produced a non-finite gradient at step %d (diverged — lower the learning rate)", rank, globalStep)
-					}
-					t1 := time.Now()
-					payload := bucketed.EncodeBucket(b, gb)
-					encodeSec += time.Since(t1).Seconds()
-					if overlap {
+					for b := 0; b < nb; b++ {
+						<-encDone[b]
+						if err := encErr[b]; err != nil {
+							encErr[b] = nil
+							for b2 := b + 1; b2 < nb; b2++ { // drain the step's remaining tokens
+								<-encDone[b2]
+							}
+							_ = comm.WaitAll(reqs) // drain in-flight buckets first
+							return fmt.Errorf("%w (step %d)", err, globalStep)
+						}
+						encodeSec += encDur[b]
+						b := b
+						gb := grad[bounds[b]:bounds[b+1]]
+						payload := encPayloads[b]
 						reqs = append(reqs, cm.Async(func() error {
 							return bucketed.ExchangeBucket(b, payload, gb, cm)
 						}))
-					} else {
-						t2 := time.Now()
-						if err := bucketed.ExchangeBucket(b, payload, gb, cm); err != nil {
-							return err
+					}
+				} else {
+					for b := 0; b < nb; b++ {
+						payload, dur, err := encodeBucket(b, histStep)
+						if err != nil {
+							_ = comm.WaitAll(reqs) // drain in-flight buckets first
+							return fmt.Errorf("%w (step %d)", err, globalStep)
 						}
-						syncSec += time.Since(t2).Seconds()
+						encodeSec += dur
+						gb := grad[bounds[b]:bounds[b+1]]
+						if overlap {
+							b := b
+							reqs = append(reqs, cm.Async(func() error {
+								return bucketed.ExchangeBucket(b, payload, gb, cm)
+							}))
+						} else {
+							t2 := time.Now()
+							if err := bucketed.ExchangeBucket(b, payload, gb, cm); err != nil {
+								return err
+							}
+							syncSec += time.Since(t2).Seconds()
+						}
 					}
 				}
 				if overlap {

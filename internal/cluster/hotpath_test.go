@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelEncodeBitwiseMatchesSerial pins the parallel-bucket-encode
+// invariant: the overlap path's encode worker pool (active when GOMAXPROCS
+// > 1) fans gather+encode out across buckets, but every bucket owns its
+// algorithm instance and RNG stream and the exchanges are enqueued in bucket
+// order — so the run is bitwise identical to the same overlap run encoded
+// serially (GOMAXPROCS = 1), including for stochastic quantizers.
+func TestParallelEncodeBitwiseMatchesSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, algo := range []string{"a2sgd", "topk", "qsgd"} {
+		runtime.GOMAXPROCS(1)
+		serial, err := Train(bucketCfg(algo, 4, fourBucketBytes, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The pool is sized by GOMAXPROCS / Workers (all 4 ranks share this
+		// process), so 16 gives every rank a 4-worker encode pool.
+		runtime.GOMAXPROCS(16)
+		parallel, err := Train(bucketCfg(algo, 4, fourBucketBytes, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Buckets < 4 || parallel.Buckets != serial.Buckets {
+			t.Fatalf("%s: bucket counts %d vs %d", algo, serial.Buckets, parallel.Buckets)
+		}
+		assertRunsIdentical(t, algo+" parallel-vs-serial encode", serial, parallel)
+	}
+}
+
+// TestParallelEncodeSurfacesNonFiniteGradient: the worker-pool path must
+// still fail cleanly (no hang, no panic) when a bucket's gradient diverges.
+func TestParallelEncodeSurfacesNonFiniteGradient(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	runtime.GOMAXPROCS(8) // 2 ranks → a 4-worker encode pool each
+	cfg := bucketCfg("a2sgd", 2, fourBucketBytes, true)
+	cfg.LRScale = 1e12 // blow the run up within a few steps
+	cfg.Epochs = 30
+	if _, err := Train(cfg); err == nil {
+		t.Skip("run did not diverge at this scale; nothing to assert")
+	}
+}

@@ -1,0 +1,69 @@
+package comm
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// allreduceAllocs measures rank 0's steady-state allocations per
+// AllreduceMean on a warm two-rank inproc fabric. Rank 1 mirrors every
+// collective from its own goroutine until the fabric shuts down; its
+// allocations land in the same global counter, so a nonzero result on either
+// side fails. GC is paused so a collection can't empty the transit-buffer
+// pool mid-measurement.
+func allreduceAllocs(t *testing.T, algo AllreduceAlgorithm, n int) float64 {
+	t.Helper()
+	f := NewInprocFabric(2)
+	defer f.Shutdown()
+	cs := f.Communicators()
+	v0 := make([]float32, n)
+	v1 := make([]float32, n)
+	peerDone := make(chan struct{})
+	go func() {
+		defer close(peerDone)
+		for {
+			if err := cs[1].AllreduceMean(v1, algo); err != nil {
+				return // ErrFabricClosed at teardown
+			}
+		}
+	}()
+	// Warm-up: grow the communicator scratch and the fabric's transit pool.
+	for i := 0; i < 3; i++ {
+		if err := cs[0].AllreduceMean(v0, algo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := cs[0].AllreduceMean(v0, algo); err != nil {
+			t.Fatal(err)
+		}
+	})
+	f.Shutdown()
+	<-peerDone
+	return allocs
+}
+
+// TestAllreduceMeanZeroAllocSteadyState pins the collective half of the
+// zero-allocation contract: on the inproc fabric a warm AllreduceMean —
+// ring or recursive doubling, latency- or bandwidth-sized — never touches
+// the allocator (communicator-owned reduction scratch, pooled transit
+// buffers, no per-step goroutine captures).
+func TestAllreduceMeanZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; run without -race")
+	}
+	for _, tc := range []struct {
+		name string
+		algo AllreduceAlgorithm
+		n    int
+	}{
+		{"ring-64k", AlgoRing, 1 << 16},
+		{"recdbl-64k", AlgoRecursiveDoubling, 1 << 16},
+		{"recdbl-2", AlgoRecursiveDoubling, 2}, // a2sgd's two-scalar exchange
+	} {
+		if a := allreduceAllocs(t, tc.algo, tc.n); a != 0 {
+			t.Errorf("%s: %.2f allocs per steady-state AllreduceMean, want 0", tc.name, a)
+		}
+	}
+}

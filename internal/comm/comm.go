@@ -29,6 +29,18 @@ type Transport interface {
 	Close() error
 }
 
+// BufferedTransport is the optional capability of transports whose Send
+// enqueues without waiting for the receiver (bounded buffering comfortably
+// above the couple of in-flight messages the collectives keep per ordered
+// pair). On such transports sendRecv issues the send inline before the
+// receive — no helper goroutine, no allocation — which is what makes the
+// steady-state inproc collectives allocation-free. Rendezvous transports
+// (TCP: a large send blocks until the peer drains it) must not implement it;
+// they keep the overlapped send goroutine.
+type BufferedTransport interface {
+	SendIsBuffered() bool
+}
+
 // Traffic aggregates the communication volume observed by one rank.
 type Traffic struct {
 	BytesSent int64
@@ -54,6 +66,20 @@ type Communicator struct {
 	asyncQueue   []asyncJob
 	asyncRunning bool
 
+	// scratch is the reusable reduction buffer of the blocking collectives
+	// (ring segments, recursive-doubling partner data, binomial reduce).
+	// Blocking collectives are not concurrent on one communicator (the MPI
+	// model above), so a single buffer grown to the high-water mark makes
+	// the steady-state collectives allocation-free.
+	scratch []float32
+	// sendErr carries the send half of sendRecv back from its goroutine;
+	// one persistent channel instead of a per-call allocation.
+	sendErr chan error
+	// buffered caches the transport's BufferedTransport capability.
+	buffered bool
+	// barOne/barBuf are Barrier's one-element token buffers.
+	barOne, barBuf [1]float32
+
 	// children are the group communicators created by Split; their traffic
 	// is folded into this communicator's Traffic.
 	children []*Communicator
@@ -64,7 +90,21 @@ type Communicator struct {
 
 // NewCommunicator wraps a transport.
 func NewCommunicator(t Transport) *Communicator {
-	return &Communicator{t: t}
+	c := &Communicator{t: t, sendErr: make(chan error, 1)}
+	if bt, ok := t.(BufferedTransport); ok {
+		c.buffered = bt.SendIsBuffered()
+	}
+	return c
+}
+
+// getScratch returns the communicator-owned scratch grown to at least n
+// elements. Callers are the blocking collectives, which never overlap on one
+// communicator, so the buffer is never aliased by two operations.
+func (c *Communicator) getScratch(n int) []float32 {
+	if cap(c.scratch) < n {
+		c.scratch = make([]float32, n)
+	}
+	return c.scratch[:n]
 }
 
 // Rank returns this communicator's rank.
@@ -126,13 +166,31 @@ func (c *Communicator) recv(from, tag int, data []float32) error {
 	return nil
 }
 
+// sendAsync runs one send and reports on the persistent sendErr channel. It
+// is a named method, not a closure, so the `go` statement in sendRecv copies
+// its arguments instead of heap-allocating a capture.
+func (c *Communicator) sendAsync(to, tag int, data []float32) {
+	c.sendErr <- c.send(to, tag, data)
+}
+
 // sendRecv overlaps one send and one receive, as every ring step requires;
-// doing them sequentially would deadlock on unbuffered transports.
+// doing them sequentially would deadlock on unbuffered transports. The
+// goroutine hand-off reuses the communicator's sendErr channel — blocking
+// collectives never overlap on one communicator, so at most one send is in
+// flight — keeping the per-step cost allocation-free.
 func (c *Communicator) sendRecv(to, tagS int, sendBuf []float32, from, tagR int, recvBuf []float32) error {
-	errc := make(chan error, 1)
-	go func() { errc <- c.send(to, tagS, sendBuf) }()
+	if c.buffered {
+		// Buffered transport: the send enqueues without waiting for the
+		// receiver, so issuing it inline is deadlock-free and avoids the
+		// goroutine (and its argument-capture allocation) entirely.
+		if err := c.send(to, tagS, sendBuf); err != nil {
+			return err
+		}
+		return c.recv(from, tagR, recvBuf)
+	}
+	go c.sendAsync(to, tagS, sendBuf)
 	rerr := c.recv(from, tagR, recvBuf)
-	serr := <-errc
+	serr := <-c.sendErr
 	if serr != nil {
 		return serr
 	}
@@ -232,7 +290,7 @@ func (c *Communicator) ringAllreduce(v []float32) error {
 	n := len(v)
 	next := (r + 1) % p
 	prev := (r - 1 + p) % p
-	buf := make([]float32, (n+p-1)/p+1)
+	buf := c.getScratch((n+p-1)/p + 1)
 
 	// Phase 1: reduce-scatter. After step s, rank r holds the partial sum
 	// of segment (r-s) mod p.
@@ -271,7 +329,7 @@ func (c *Communicator) recDoublingAllreduce(v []float32) error {
 		pow2 *= 2
 	}
 	rem := p - pow2
-	buf := make([]float32, len(v))
+	buf := c.getScratch(len(v))
 
 	// Fold: the first 2*rem ranks pair up; odd ones ship data to even ones
 	// and sit out, leaving a power-of-two active set.
@@ -450,7 +508,7 @@ func (c *Communicator) Reduce(v []float32, root int) error {
 		return fmt.Errorf("comm: reduce root %d out of range", root)
 	}
 	vr := (r - root + p) % p
-	buf := make([]float32, len(v))
+	buf := c.getScratch(len(v))
 	mask := 1
 	for mask < p {
 		if vr&mask != 0 {
@@ -472,12 +530,11 @@ func (c *Communicator) Reduce(v []float32, root int) error {
 // ⌈log2 P⌉ rounds of 1-element messages).
 func (c *Communicator) Barrier() error {
 	p, r := c.Size(), c.Rank()
-	one := []float32{1}
-	buf := []float32{0}
+	c.barOne[0], c.barBuf[0] = 1, 0
 	for round, dist := 0, 1; dist < p; round, dist = round+1, dist*2 {
 		to := (r + dist) % p
 		from := (r - dist + p) % p
-		if err := c.sendRecv(to, tagBar+round, one, from, tagBar+round, buf); err != nil {
+		if err := c.sendRecv(to, tagBar+round, c.barOne[:], from, tagBar+round, c.barBuf[:]); err != nil {
 			return err
 		}
 	}

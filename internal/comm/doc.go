@@ -44,6 +44,18 @@
 // ones to float tolerance (the reduction order differs) and are fully
 // deterministic for a fixed seed and topology.
 //
+// # Memory discipline
+//
+// The collectives are allocation-free in steady state: each Communicator
+// owns one reduction scratch buffer grown to its high-water size (blocking
+// collectives never overlap on a communicator), sendRecv reuses a
+// persistent error channel and skips its helper goroutine entirely on
+// transports that implement BufferedTransport, and the inproc fabric
+// recycles transit buffers through a pool — Send clones into a pooled
+// buffer, Recv copies into the caller-provided destination and returns the
+// buffer. AllocsPerRun tests pin a warm AllreduceMean at zero allocations;
+// see ARCHITECTURE.md "Memory discipline & hot path".
+//
 // # Traffic accounting
 //
 // Every Communicator keeps per-rank traffic counters (payload bytes sent and

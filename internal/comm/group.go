@@ -49,6 +49,16 @@ func (t *groupTransport) Recv(from, tag int, data []float32) error {
 // Close is a no-op: the parent owns the underlying transport.
 func (t *groupTransport) Close() error { return nil }
 
+// SendIsBuffered forwards the parent transport's capability: a group send is
+// exactly a parent send on a remapped (rank, tag), so it buffers iff the
+// parent does.
+func (t *groupTransport) SendIsBuffered() bool {
+	if bt, ok := t.parent.(BufferedTransport); ok {
+		return bt.SendIsBuffered()
+	}
+	return false
+}
+
 // ColorUndefined excludes the calling rank from every group, like
 // MPI_UNDEFINED: Split still participates in the collective exchange but
 // returns a nil communicator.

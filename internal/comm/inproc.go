@@ -6,19 +6,30 @@ import (
 	"sync"
 )
 
-// inprocMsg carries one tagged payload between two ranks.
+// inprocMsg carries one tagged payload between two ranks. data is a view of
+// *buf (a recycled transit buffer): the receiver copies data into the
+// caller's destination and returns buf to the fabric pool.
 type inprocMsg struct {
 	tag  int
 	data []float32
+	buf  *[]float32
 }
 
 // InprocFabric is an in-process point-to-point fabric: a matrix of buffered
 // channels, one per ordered (src, dst) pair. It is the default transport for
-// experiments — deterministic, allocation-light, and it exercises exactly
-// the same collective code paths as the TCP transport.
+// experiments — deterministic, allocation-free in steady state, and it
+// exercises exactly the same collective code paths as the TCP transport.
+//
+// Transit buffers are pooled: Send clones the caller's data (the Transport
+// contract lets the caller reuse its buffer immediately) into a buffer drawn
+// from the fabric-wide pool, and Recv — which always has the caller's
+// destination in hand — copies straight into that destination and recycles
+// the transit buffer. After warm-up the pool's buffers have grown to the
+// high-water message size and the fabric stops touching the allocator.
 type InprocFabric struct {
 	size  int
 	chans [][]chan inprocMsg // chans[src][dst]
+	pool  sync.Pool          // *[]float32 transit buffers
 	done  chan struct{}
 	once  sync.Once
 }
@@ -34,6 +45,7 @@ func NewInprocFabric(size int) *InprocFabric {
 		panic("comm: fabric size must be positive")
 	}
 	f := &InprocFabric{size: size, done: make(chan struct{})}
+	f.pool.New = func() any { return new([]float32) }
 	f.chans = make([][]chan inprocMsg, size)
 	for s := range f.chans {
 		f.chans[s] = make([]chan inprocMsg, size)
@@ -80,6 +92,11 @@ type inprocTransport struct {
 func (t *inprocTransport) Rank() int { return t.rank }
 func (t *inprocTransport) Size() int { return t.f.size }
 
+// SendIsBuffered implements BufferedTransport: sends enqueue on the
+// per-pair channel (depth inprocDepth) without waiting for the receiver, so
+// the collectives' sendRecv can issue them inline.
+func (t *inprocTransport) SendIsBuffered() bool { return true }
+
 func (t *inprocTransport) Send(to, tag int, data []float32) error {
 	if to < 0 || to >= t.f.size {
 		return fmt.Errorf("comm: send to invalid rank %d", to)
@@ -91,13 +108,20 @@ func (t *inprocTransport) Send(to, tag int, data []float32) error {
 		return ErrFabricClosed
 	default:
 	}
-	// Copy: the caller may reuse the buffer as soon as Send returns.
-	cp := make([]float32, len(data))
+	// Copy: the caller may reuse the buffer as soon as Send returns. The
+	// transit buffer comes from the fabric pool and goes back to it when
+	// the matching Recv has copied into its destination.
+	bp := t.f.pool.Get().(*[]float32)
+	if cap(*bp) < len(data) {
+		*bp = make([]float32, len(data))
+	}
+	cp := (*bp)[:len(data)]
 	copy(cp, data)
 	select {
-	case t.f.chans[t.rank][to] <- inprocMsg{tag: tag, data: cp}:
+	case t.f.chans[t.rank][to] <- inprocMsg{tag: tag, data: cp, buf: bp}:
 		return nil
 	case <-t.f.done:
+		t.f.pool.Put(bp)
 		return ErrFabricClosed
 	}
 }
@@ -108,6 +132,7 @@ func (t *inprocTransport) Recv(from, tag int, data []float32) error {
 	}
 	select {
 	case m := <-t.f.chans[from][t.rank]:
+		defer t.f.pool.Put(m.buf)
 		if m.tag != tag {
 			return fmt.Errorf("comm: tag mismatch recv(%d<-%d): got %d want %d", t.rank, from, m.tag, tag)
 		}

@@ -1,0 +1,8 @@
+//go:build race
+
+package comm
+
+// raceEnabled reports that the race detector is active: its instrumentation
+// allocates on channel and synchronization operations, so the
+// zero-allocation assertions are skipped (they run in the non-race CI lane).
+const raceEnabled = true

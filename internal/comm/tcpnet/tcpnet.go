@@ -8,28 +8,50 @@
 // Topology: full mesh. Every rank opens one listener; rank i dials every
 // rank j > i and identifies itself with a 4-byte handshake. Messages are
 // framed as [uint32 tag][uint32 nElems][nElems × float32 little-endian].
+//
+// The framing is zero-copy in steady state: on little-endian builds the
+// float32 payload's backing memory IS the wire representation
+// (tensor.F32LEBytes), so Send hands the kernel an iovec of {header,
+// payload} via net.Buffers (one writev, no staging copy) and Recv reads the
+// socket directly into the caller's destination buffer. The safe fallback
+// (big-endian targets or -tags purego) converts through per-peer wire
+// buffers that are pooled and sized by the frame header, so either path
+// stays off the allocator after warm-up.
 package tcpnet
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"math"
 	"net"
 	"sync"
 
 	"a2sgd/internal/comm"
+	"a2sgd/internal/tensor"
 )
+
+// peerState is the per-peer wire machinery: one lock per direction plus the
+// reusable framing buffers of the zero-allocation hot path.
+type peerState struct {
+	wmu    sync.Mutex  // write lock
+	hdr    [8]byte     // outgoing frame header scratch
+	iov    net.Buffers // {header, payload} iovec view consumed by writev
+	iovArr [2][]byte   // backing storage iov is rebuilt from each Send
+	wire   []byte      // fallback: staged little-endian payload
+
+	rmu   sync.Mutex // read lock
+	rhdr  [8]byte    // incoming frame header scratch
+	rwire []byte     // fallback: staged receive buffer, sized by the header
+}
 
 // Transport is a TCP-backed comm.Transport endpoint.
 type Transport struct {
 	rank, size int
 	listener   net.Listener
 
-	mu    sync.Mutex // guards conns/writers during setup and Close
+	mu    sync.Mutex // guards conns/readers during setup and Close
 	conns []net.Conn
-	wmu   []sync.Mutex // per-peer write lock
-	rmu   []sync.Mutex // per-peer read lock
+	peers []peerState
 	rbuf  []*bufio.Reader
 }
 
@@ -48,6 +70,21 @@ func (t *Transport) Addr() string { return t.listener.Addr().String() }
 // loopback interface and returns one Communicator per rank plus a shutdown
 // function. It is the single-process analogue of an mpirun over TCP.
 func NewLocalGroup(size int) ([]*comm.Communicator, func(), error) {
+	ts, shutdown, err := NewLocalMesh(size)
+	if err != nil {
+		return nil, nil, err
+	}
+	cs := make([]*comm.Communicator, size)
+	for r, t := range ts {
+		cs[r] = comm.NewCommunicator(t)
+	}
+	return cs, shutdown, nil
+}
+
+// NewLocalMesh builds the fully connected loopback mesh and returns the raw
+// transports — the layer the hot-path benchmarks drive directly to measure
+// framed send/receive without collective logic on top.
+func NewLocalMesh(size int) ([]*Transport, func(), error) {
 	ts := make([]*Transport, size)
 	for r := 0; r < size; r++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -57,8 +94,7 @@ func NewLocalGroup(size int) ([]*comm.Communicator, func(), error) {
 		ts[r] = &Transport{
 			rank: r, size: size, listener: ln,
 			conns: make([]net.Conn, size),
-			wmu:   make([]sync.Mutex, size),
-			rmu:   make([]sync.Mutex, size),
+			peers: make([]peerState, size),
 			rbuf:  make([]*bufio.Reader, size),
 		}
 	}
@@ -67,8 +103,14 @@ func NewLocalGroup(size int) ([]*comm.Communicator, func(), error) {
 		addrs[r] = t.Addr()
 	}
 
+	// Handshake protocol: rank j's accept goroutine expects exactly j inbound
+	// connections (one from every lower rank); rank i's dial goroutine opens
+	// one connection to every higher rank and identifies itself with a 4-byte
+	// little-endian rank header as its first bytes. Each of the size-1 accept
+	// goroutines and size dial goroutines sends at most one error before
+	// returning, so a 2*size-buffered channel can never block a sender.
 	var wg sync.WaitGroup
-	errc := make(chan error, 2*size*size)
+	errc := make(chan error, 2*size)
 	// Accept loop per rank: expect `rank` inbound connections (from lower ranks).
 	for r := 1; r < size; r++ {
 		wg.Add(1)
@@ -125,16 +167,12 @@ func NewLocalGroup(size int) ([]*comm.Communicator, func(), error) {
 	default:
 	}
 
-	cs := make([]*comm.Communicator, size)
-	for r, t := range ts {
-		cs[r] = comm.NewCommunicator(t)
-	}
 	shutdown := func() {
 		for _, t := range ts {
 			_ = t.Close()
 		}
 	}
-	return cs, shutdown, nil
+	return ts, shutdown, nil
 }
 
 func (t *Transport) setConn(peer int, conn net.Conn) {
@@ -160,53 +198,78 @@ func (t *Transport) conn(peer int) (net.Conn, *bufio.Reader, error) {
 	return c, r, nil
 }
 
-// Send implements comm.Transport.
+// Send implements comm.Transport. On zero-copy builds the payload's backing
+// memory is the wire format, so one writev ships {header, payload} without
+// staging; the fallback converts into the peer's reusable wire buffer. Both
+// paths are allocation-free in steady state.
 func (t *Transport) Send(to, tag int, data []float32) error {
 	conn, _, err := t.conn(to)
 	if err != nil {
 		return err
 	}
-	buf := make([]byte, 8+4*len(data))
-	binary.LittleEndian.PutUint32(buf[0:], uint32(tag))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(data)))
-	for i, f := range data {
-		binary.LittleEndian.PutUint32(buf[8+4*i:], math.Float32bits(f))
+	ps := &t.peers[to]
+	ps.wmu.Lock()
+	defer ps.wmu.Unlock()
+	binary.LittleEndian.PutUint32(ps.hdr[0:], uint32(tag))
+	binary.LittleEndian.PutUint32(ps.hdr[4:], uint32(len(data)))
+	var payload []byte
+	if tensor.BitsZeroCopy() {
+		payload = tensor.F32LEBytes(data)
+	} else {
+		if cap(ps.wire) < 4*len(data) {
+			ps.wire = make([]byte, 4*len(data))
+		}
+		payload = ps.wire[:4*len(data)]
+		tensor.PutF32LE(payload, data)
 	}
-	t.wmu[to].Lock()
-	defer t.wmu[to].Unlock()
-	if _, err := conn.Write(buf); err != nil {
+	// net.Buffers.WriteTo is a single writev on *net.TCPConn; it consumes
+	// the iov view, which is rebuilt from the persistent backing array on
+	// every Send — nothing here touches the allocator.
+	ps.iovArr[0], ps.iovArr[1] = ps.hdr[:], payload
+	ps.iov = ps.iovArr[:]
+	if _, err := ps.iov.WriteTo(conn); err != nil {
 		return fmt.Errorf("tcpnet: send to %d: %w", to, err)
 	}
 	return nil
 }
 
-// Recv implements comm.Transport.
+// Recv implements comm.Transport. The frame header is validated against the
+// caller's expectation, then the payload is read from the socket straight
+// into the destination buffer's memory on zero-copy builds; the fallback
+// stages through a per-peer receive buffer sized by the frame header.
 func (t *Transport) Recv(from, tag int, data []float32) error {
 	_, r, err := t.conn(from)
 	if err != nil {
 		return err
 	}
-	t.rmu[from].Lock()
-	defer t.rmu[from].Unlock()
-	var hdr [8]byte
-	if _, err := readFull(r, hdr[:]); err != nil {
+	ps := &t.peers[from]
+	ps.rmu.Lock()
+	defer ps.rmu.Unlock()
+	if _, err := readFull(r, ps.rhdr[:]); err != nil {
 		return fmt.Errorf("tcpnet: recv from %d: %w", from, err)
 	}
-	gotTag := int(binary.LittleEndian.Uint32(hdr[0:]))
-	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	gotTag := int(binary.LittleEndian.Uint32(ps.rhdr[0:]))
+	n := int(binary.LittleEndian.Uint32(ps.rhdr[4:]))
 	if gotTag != tag {
 		return fmt.Errorf("tcpnet: tag mismatch from %d: got %d want %d", from, gotTag, tag)
 	}
 	if n != len(data) {
 		return fmt.Errorf("tcpnet: length mismatch from %d tag %d: got %d want %d", from, tag, n, len(data))
 	}
-	buf := make([]byte, 4*n)
+	if tensor.BitsZeroCopy() {
+		if _, err := readFull(r, tensor.F32LEBytes(data)); err != nil {
+			return fmt.Errorf("tcpnet: recv payload from %d: %w", from, err)
+		}
+		return nil
+	}
+	if cap(ps.rwire) < 4*n {
+		ps.rwire = make([]byte, 4*n)
+	}
+	buf := ps.rwire[:4*n]
 	if _, err := readFull(r, buf); err != nil {
 		return fmt.Errorf("tcpnet: recv payload from %d: %w", from, err)
 	}
-	for i := range data {
-		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
-	}
+	tensor.GetF32LE(data, buf)
 	return nil
 }
 

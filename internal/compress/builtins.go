@@ -107,7 +107,12 @@ func init() {
 			return CostModel{BytesPerElem: 4, Kind: netsim.ExchangeAllreduce}
 		},
 	})
-	Register("topk", sparsifier("top-k magnitude sparsification with error feedback", 7e-9,
+	// topk/qsgd EncSecPerElem reflect the post-zero-allocation measurements
+	// (BENCH_hotpath.json: ~2.5x between the heap selection and the packed
+	// quantizer at vgg16-scale buckets). Full measured calibration — feeding
+	// NewIterModel's encode timings back into these hooks — is the ROADMAP
+	// "measured cost models" follow-up.
+	Register("topk", sparsifier("top-k magnitude sparsification with error feedback", 1e-8,
 		func(o Options) Algorithm { return NewTopK(o) }))
 	Register("gaussiank", sparsifier("Gaussian-threshold sparsification with error feedback", 5e-9,
 		func(o Options) Algorithm { return NewGaussianK(o) }))
@@ -115,7 +120,7 @@ func init() {
 		func(o Options) Algorithm { return NewRandK(o) }))
 	Register("dgc", sparsifier("deep gradient compression (top-k + momentum correction)", 8e-9,
 		func(o Options) Algorithm { return NewDGC(o) }))
-	Register("qsgd", quantizer("QSGD stochastic quantization, packed words", 5e-9,
+	Register("qsgd", quantizer("QSGD stochastic quantization, packed words", 4e-9,
 		func(levels int) float64 { return float64(qsgdBitsPerElem(levels)) / 8 },
 		netsim.ExchangeAllreduce,
 		func(o Options) Algorithm { return NewQSGD(o) }))

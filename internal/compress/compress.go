@@ -11,6 +11,14 @@ import (
 // will travel on the fabric plus the analytic size in bits. Integer data
 // (sparse indices, packed quantization words) is bit-cast into the float32
 // stream via comm.Float32FromIndex.
+//
+// Ownership: Data aliases scratch owned by the algorithm instance that
+// produced it and is only valid until the next Encode call on that same
+// instance — the zero-allocation contract that keeps the steady-state hot
+// path off the allocator (ARCHITECTURE.md "Memory discipline & hot path").
+// The training pipeline naturally respects it (each bucket's payload is
+// consumed by its Exchange before that bucket's next Encode); callers that
+// need a payload to outlive the next Encode must copy Data explicitly.
 type Payload struct {
 	// Data is the packed payload handed to the collective.
 	Data []float32
@@ -26,7 +34,9 @@ type Algorithm interface {
 	// Name returns the identifier used in reports ("a2sgd", "topk", ...).
 	Name() string
 	// Encode runs the local compression of gradient g. It may read and
-	// update internal residual state but must not modify g.
+	// update internal residual state but must not modify g. The returned
+	// Payload may alias instance scratch: it is valid until the next
+	// Encode on this instance (see the Payload ownership contract).
 	Encode(g []float32) Payload
 	// Exchange performs the collective synchronization of the payload and
 	// writes the synchronized (worker-averaged) gradient into g. g must be

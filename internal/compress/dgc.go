@@ -18,6 +18,7 @@ type DGC struct {
 	momentum float32
 	u        []float32 // momentum accumulator
 	v        []float32 // velocity accumulator
+	sc       sparseScratch
 }
 
 // NewDGC builds a DGC compressor with momentum 0.9 (Lin et al.'s setting).
@@ -28,6 +29,7 @@ func NewDGC(o Options) *DGC {
 		momentum: 0.9,
 		u:        make([]float32, o.N),
 		v:        make([]float32, o.N),
+		sc:       newSparseScratch(o.N, o.K()),
 	}
 }
 
@@ -39,7 +41,8 @@ func (d *DGC) K() int { return d.k }
 
 // Encode folds g into the momentum and velocity buffers, selects the top-k
 // velocity entries, and clears them in both buffers (momentum factor
-// masking).
+// masking). The returned payload aliases instance scratch (valid until the
+// next Encode).
 func (d *DGC) Encode(g []float32) Payload {
 	if len(g) != len(d.u) {
 		panic("compress: gradient length changed between steps")
@@ -48,14 +51,13 @@ func (d *DGC) Encode(g []float32) Payload {
 		d.u[i] = d.momentum*d.u[i] + x
 		d.v[i] += d.u[i]
 	}
-	idx := topKIndices(d.v, d.k)
-	val := make([]float32, len(idx))
-	for i, ix := range idx {
-		val[i] = d.v[ix]
+	d.sc.topK(d.v, d.k)
+	d.sc.valuesAt(d.v)
+	for _, ix := range d.sc.idx {
 		d.v[ix] = 0
 		d.u[ix] = 0
 	}
-	return sparsePayload(idx, val)
+	return d.sc.payload()
 }
 
 // Exchange implements Algorithm via the sparse allgather.

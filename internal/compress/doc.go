@@ -27,6 +27,16 @@
 // communicator configured with comm.SetTopology the same Exchange runs the
 // two-level hierarchical schedule unchanged.
 //
+// # Payload ownership
+//
+// Encode is allocation-free in steady state: selection heaps, quantization
+// word buffers and payload slices live on the algorithm instance and are
+// recycled across calls. Consequently a Payload's Data aliases instance
+// scratch and is valid only until the next Encode on the same instance —
+// callers that need a payload to survive longer copy Data explicitly, and
+// distinct instances (e.g. Bucketed's per-bucket algorithms) never share
+// scratch. See ARCHITECTURE.md "Memory discipline & hot path".
+//
 // # The spec grammar
 //
 // Algorithms are named and parameterized by a small spec grammar:

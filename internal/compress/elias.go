@@ -8,10 +8,18 @@ import (
 	"a2sgd/internal/tensor"
 )
 
-// bitWriter packs an MSB-first bit stream into uint32 words.
+// bitWriter packs an MSB-first bit stream into uint32 words. reset keeps the
+// word capacity, so a writer owned by an algorithm instance is recycled
+// across Encode calls without reallocating.
 type bitWriter struct {
 	words []uint32
 	nbits uint64
+}
+
+// reset rewinds the writer for a new stream, retaining capacity.
+func (w *bitWriter) reset() {
+	w.words = w.words[:0]
+	w.nbits = 0
 }
 
 func (w *bitWriter) writeBit(b uint32) {
@@ -102,8 +110,15 @@ func leadingZeros32(x uint32) int {
 // non-zero levels. The payload is variable length, so the exchange is an
 // AllgatherV.
 type QSGDElias struct {
-	q   *QSGD
-	buf []float32
+	q *QSGD
+	// Reusable scratch: the entropy-coded bit stream and its bit-cast
+	// payload (which the returned Payload aliases — valid until the next
+	// Encode), the word view of the stream being decoded, and the decoded
+	// chunk of Exchange.
+	w           bitWriter
+	data        []float32
+	decodeWords []uint32
+	buf         []float32
 }
 
 // NewQSGDElias builds the Elias-coded quantizer (levels = QuantLevels).
@@ -119,10 +134,12 @@ func (e *QSGDElias) Levels() int { return e.q.Levels() }
 
 // Encode quantizes g and entropy-codes the stream. Payload layout, bit-cast
 // into float32 words: word 0 = ‖g‖₂, word 1 = element count, words 2.. =
-// the MSB-first bit stream.
+// the MSB-first bit stream. The returned payload aliases instance scratch
+// (valid until the next Encode).
 func (e *QSGDElias) Encode(g []float32) Payload {
 	norm := float32(tensor.Norm2(g))
-	var w bitWriter
+	e.w.reset()
+	w := &e.w
 	if norm > 0 {
 		s := e.q.s
 		for _, x := range g {
@@ -140,13 +157,13 @@ func (e *QSGDElias) Encode(g []float32) Payload {
 			if level > uint32(s) {
 				level = uint32(s)
 			}
-			eliasGammaWrite(&w, level+1)
+			eliasGammaWrite(w, level+1)
 			if level > 0 {
 				w.writeBit(sign)
 			}
 		}
 	}
-	data := make([]float32, 2+len(w.words))
+	data := growF32(&e.data, 2+len(w.words))
 	data[0] = math.Float32frombits(math.Float32bits(norm))
 	data[1] = comm.Float32FromIndex(uint32(len(g)))
 	for i, word := range w.words {
@@ -166,14 +183,14 @@ func (e *QSGDElias) Decode(data []float32, dst []float32) {
 	if norm == 0 {
 		return
 	}
-	words := make([]uint32, len(data)-2)
+	words := growU32(&e.decodeWords, len(data)-2)
 	for i := range words {
 		words[i] = math.Float32bits(data[2+i])
 	}
-	r := &bitReader{words: words}
+	r := bitReader{words: words}
 	s := float32(e.q.s)
 	for i := 0; i < n; i++ {
-		level := eliasGammaRead(r) - 1
+		level := eliasGammaRead(&r) - 1
 		if level == 0 {
 			continue
 		}
@@ -192,10 +209,7 @@ func (e *QSGDElias) Exchange(p Payload, g []float32, c *comm.Communicator) error
 	if err != nil {
 		return err
 	}
-	if cap(e.buf) < len(g) {
-		e.buf = make([]float32, len(g))
-	}
-	buf := e.buf[:len(g)]
+	buf := growF32(&e.buf, len(g))
 	tensor.Zero(g)
 	inv := 1 / float32(c.Size())
 	off := 0

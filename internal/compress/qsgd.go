@@ -22,10 +22,20 @@ import (
 // so our Figure 2 shows QSGD expensive but not quadratic — the ordering of
 // the four algorithms is preserved.
 type QSGD struct {
-	s         int
-	bitsPer   uint // sign + level bits per element
-	rng       *tensor.RNG
-	decodeBuf []float32
+	s       int
+	bitsPer uint // sign + level bits per element
+	rng     *tensor.RNG
+
+	// Reusable scratch (zero-allocation steady state): the packed word
+	// buffer and the bit-cast payload of the current Encode, the word view
+	// of the stream being decoded, the allgathered streams and the decoded
+	// chunk of Exchange. The Encode payload aliases data — valid until the
+	// next Encode on this instance.
+	words       []uint32
+	data        []float32
+	decodeWords []uint32
+	gatherBuf   []float32
+	decodeBuf   []float32
 }
 
 // NewQSGD builds a QSGD quantizer from the options (levels = QuantLevels).
@@ -55,16 +65,37 @@ func (q *QSGD) encodedWords(n int) int {
 	return int((bits + 31) / 32)
 }
 
+// growU32 returns a length-m uint32 scratch slice backed by *buf.
+func growU32(buf *[]uint32, m int) []uint32 {
+	if cap(*buf) < m {
+		*buf = make([]uint32, m)
+	}
+	*buf = (*buf)[:m]
+	return *buf
+}
+
+// growF32 is growU32's float32 twin: the one place the scratch-recycling
+// cap-check-and-grow idiom lives. Contents beyond the previous length are
+// unspecified; callers overwrite every element.
+func growF32(buf *[]float32, m int) []float32 {
+	if cap(*buf) < m {
+		*buf = make([]float32, m)
+	}
+	*buf = (*buf)[:m]
+	return *buf
+}
+
 // Encode quantizes g into the packed stream. Format, bit-cast into the
 // float32 payload: word 0 = ‖g‖₂ (float), words 1.. = packed fields, LSB
-// first within each word: [sign:1][level:bitsPer-1] per element.
+// first within each word: [sign:1][level:bitsPer-1] per element. The
+// returned payload aliases instance scratch (valid until the next Encode).
 func (q *QSGD) Encode(g []float32) Payload {
 	n := len(g)
 	norm := float32(tensor.Norm2(g))
-	words := make([]uint32, 1+q.encodedWords(n))
+	words := growU32(&q.words, 1+q.encodedWords(n))
+	clear(words)
 	words[0] = math.Float32bits(norm)
 	if norm > 0 {
-		levelBits := q.bitsPer - 1
 		bitPos := uint64(0)
 		for _, x := range g {
 			sign := uint32(0)
@@ -91,10 +122,9 @@ func (q *QSGD) Encode(g []float32) Payload {
 				words[w+1] |= field >> (32 - off)
 			}
 			bitPos += uint64(q.bitsPer)
-			_ = levelBits
 		}
 	}
-	data := make([]float32, len(words))
+	data := growF32(&q.data, len(words))
 	for i, w := range words {
 		data[i] = math.Float32frombits(w)
 	}
@@ -103,7 +133,7 @@ func (q *QSGD) Encode(g []float32) Payload {
 
 // Decode expands one packed stream into dst (adding is done by the caller).
 func (q *QSGD) Decode(data []float32, dst []float32) {
-	words := make([]uint32, len(data))
+	words := growU32(&q.decodeWords, len(data))
 	for i, f := range data {
 		words[i] = math.Float32bits(f)
 	}
@@ -139,14 +169,11 @@ func (q *QSGD) Decode(data []float32, dst []float32) {
 // not reducible in their packed form.
 func (q *QSGD) Exchange(p Payload, g []float32, c *comm.Communicator) error {
 	n := len(g)
-	all := make([]float32, len(p.Data)*c.Size())
+	all := growF32(&q.gatherBuf, len(p.Data)*c.Size())
 	if err := c.Allgather(p.Data, all); err != nil {
 		return err
 	}
-	if cap(q.decodeBuf) < n {
-		q.decodeBuf = make([]float32, n)
-	}
-	buf := q.decodeBuf[:n]
+	buf := growF32(&q.decodeBuf, n)
 	tensor.Zero(g)
 	inv := 1 / float32(c.Size())
 	for r := 0; r < c.Size(); r++ {
@@ -176,7 +203,13 @@ func (q *QSGD) Reset() {}
 // of the quantization family. Included as an extension algorithm.
 type TernGrad struct {
 	rng *tensor.RNG
-	buf []float32
+	// Reusable scratch: packed words + bit-cast payload of the current
+	// Encode (the payload aliases data — valid until the next Encode), the
+	// allgathered streams and the decoded chunk of Exchange.
+	words     []uint32
+	data      []float32
+	gatherBuf []float32
+	buf       []float32
 }
 
 // NewTernGrad builds a TernGrad quantizer.
@@ -189,11 +222,13 @@ func NewTernGrad(o Options) *TernGrad {
 func (t *TernGrad) Name() string { return "terngrad" }
 
 // Encode packs each entry into 2 bits: [sign:1][nonzero:1], preceded by the
-// 32-bit scale max|g|.
+// 32-bit scale max|g|. The returned payload aliases instance scratch (valid
+// until the next Encode).
 func (t *TernGrad) Encode(g []float32) Payload {
 	n := len(g)
 	scale := tensor.AbsMax(g)
-	words := make([]uint32, 1+(n*2+31)/32)
+	words := growU32(&t.words, 1+(n*2+31)/32)
+	clear(words)
 	words[0] = math.Float32bits(scale)
 	if scale > 0 {
 		for i, x := range g {
@@ -210,7 +245,7 @@ func (t *TernGrad) Encode(g []float32) Payload {
 			words[1+2*i/32] |= field << bit
 		}
 	}
-	data := make([]float32, len(words))
+	data := growF32(&t.data, len(words))
 	for i, w := range words {
 		data[i] = math.Float32frombits(w)
 	}
@@ -220,14 +255,11 @@ func (t *TernGrad) Encode(g []float32) Payload {
 // Exchange allgathers and averages the ternary streams.
 func (t *TernGrad) Exchange(p Payload, g []float32, c *comm.Communicator) error {
 	n := len(g)
-	all := make([]float32, len(p.Data)*c.Size())
+	all := growF32(&t.gatherBuf, len(p.Data)*c.Size())
 	if err := c.Allgather(p.Data, all); err != nil {
 		return err
 	}
-	if cap(t.buf) < n {
-		t.buf = make([]float32, n)
-	}
-	buf := t.buf[:n]
+	buf := growF32(&t.buf, n)
 	tensor.Zero(g)
 	inv := 1 / float32(c.Size())
 	for r := 0; r < c.Size(); r++ {

@@ -7,16 +7,121 @@ import (
 	"a2sgd/internal/tensor"
 )
 
-// sparsePayload packs k (index, value) pairs as interleaved float32 words:
-// [idx0 val0 idx1 val1 ...] with indices bit-cast. Actual wire size is 64k
-// bits; the paper's Table 2 accounts only the 32k value bits, which
-// PayloadBytes mirrors (documented in EXPERIMENTS.md).
-func sparsePayload(idx []int32, val []float32) Payload {
-	data := make([]float32, 0, 2*len(idx))
-	for i, ix := range idx {
-		data = append(data, comm.Float32FromIndex(uint32(ix)), val[i])
+// sparseScratch owns the reusable buffers of the sparsifying algorithms: the
+// selection heap, the (index, value) pair of the current selection and the
+// packed payload words. All of it is recycled across Encode calls on one
+// instance — the zero-allocation steady state the hot-path benchmarks pin —
+// which is why a sparse Payload is only valid until the next Encode on the
+// same instance (see the Payload contract in compress.go).
+type sparseScratch struct {
+	heap []int32   // top-k index heap, sized to the bucket length
+	idx  []int32   // selected indices of the current Encode
+	val  []float32 // selected values of the current Encode
+	data []float32 // packed interleaved payload of the current Encode
+}
+
+// newSparseScratch pre-sizes the selection buffers so even the first Encode
+// on an instance allocates only if the selection outgrows k (Gaussian-K's
+// count varies around k; Top-K and Rand-K never grow).
+func newSparseScratch(n, k int) sparseScratch {
+	return sparseScratch{
+		heap: make([]int32, n),
+		idx:  make([]int32, 0, k),
+		val:  make([]float32, 0, k),
+		data: make([]float32, 0, 2*k),
 	}
-	return Payload{Data: data, Bits: int64(32 * len(idx))}
+}
+
+// payload packs the current selection (s.idx, s.val) as interleaved float32
+// words: [idx0 val0 idx1 val1 ...] with indices bit-cast. Actual wire size is
+// 64k bits; the paper's Table 2 accounts only the 32k value bits, which
+// PayloadBytes mirrors (documented in EXPERIMENTS.md). The returned Data
+// aliases s.data — valid until the next Encode on the owning instance.
+func (s *sparseScratch) payload() Payload {
+	d := growF32(&s.data, 2*len(s.idx))
+	for i, ix := range s.idx {
+		d[2*i] = comm.Float32FromIndex(uint32(ix))
+		d[2*i+1] = s.val[i]
+	}
+	return Payload{Data: d, Bits: int64(32 * len(s.idx))}
+}
+
+// valuesAt fills s.val with v[ix] for every selected index.
+func (s *sparseScratch) valuesAt(v []float32) {
+	val := growF32(&s.val, len(s.idx))
+	for i, ix := range s.idx {
+		val[i] = v[ix]
+	}
+}
+
+// topK selects the indices of the k largest |v| entries into s.idx using an
+// index max-heap built in O(n) followed by k pops of O(log n) — the
+// O(n + k log n) computation the paper's Table 2 lists. The heap storage and
+// the result slice live on the scratch and are recycled across calls.
+func (s *sparseScratch) topK(v []float32, k int) {
+	n := len(v)
+	if cap(s.idx) < k {
+		s.idx = make([]int32, 0, k)
+	}
+	if k >= n {
+		s.idx = s.idx[:n]
+		for i := range s.idx {
+			s.idx[i] = int32(i)
+		}
+		return
+	}
+	abs := func(i int32) float32 {
+		x := v[i]
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	if cap(s.heap) < n {
+		s.heap = make([]int32, n)
+	}
+	heap := s.heap[:n]
+	for i := range heap {
+		heap[i] = int32(i)
+	}
+	siftDown := func(lo, hi int) {
+		root := lo
+		for {
+			child := 2*root + 1
+			if child >= hi {
+				break
+			}
+			if child+1 < hi && abs(heap[child+1]) > abs(heap[child]) {
+				child++
+			}
+			if abs(heap[child]) <= abs(heap[root]) {
+				break
+			}
+			heap[root], heap[child] = heap[child], heap[root]
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n)
+	}
+	out := s.idx[:0]
+	hi := n
+	for len(out) < k {
+		out = append(out, heap[0])
+		hi--
+		heap[0] = heap[hi]
+		siftDown(0, hi)
+	}
+	s.idx = out
+}
+
+// topKIndices is the standalone form of sparseScratch.topK: it returns the
+// indices of the k largest |v| entries in a fresh slice. Tests and one-shot
+// callers use it; the steady-state hot path goes through the scratch.
+func topKIndices(v []float32, k int) []int32 {
+	var sc sparseScratch
+	sc.topK(v, k)
+	return sc.idx
 }
 
 // sparseExchange allgathers every worker's (index, value) pairs and
@@ -84,12 +189,13 @@ func (e *errorFeedback) reset() {
 type TopK struct {
 	k  int
 	ef errorFeedback
+	sc sparseScratch
 }
 
 // NewTopK builds a Top-K sparsifier from the options (k = Density·N).
 func NewTopK(o Options) *TopK {
 	o.validate()
-	return &TopK{k: o.K(), ef: newErrorFeedback(o.N)}
+	return &TopK{k: o.K(), ef: newErrorFeedback(o.N), sc: newSparseScratch(o.N, o.K())}
 }
 
 // Name implements Algorithm.
@@ -98,16 +204,14 @@ func (t *TopK) Name() string { return "topk" }
 // K exposes the selection count (for reports).
 func (t *TopK) K() int { return t.k }
 
-// Encode selects the top-k entries of residual+g by magnitude.
+// Encode selects the top-k entries of residual+g by magnitude. The returned
+// payload aliases instance scratch (valid until the next Encode).
 func (t *TopK) Encode(g []float32) Payload {
 	acc := t.ef.accumulate(g)
-	idx := topKIndices(acc, t.k)
-	val := make([]float32, len(idx))
-	for i, ix := range idx {
-		val[i] = acc[ix]
-	}
-	t.ef.retain(acc, idx)
-	return sparsePayload(idx, val)
+	t.sc.topK(acc, t.k)
+	t.sc.valuesAt(acc)
+	t.ef.retain(acc, t.sc.idx)
+	return t.sc.payload()
 }
 
 // Exchange implements Algorithm via the sparse allgather.
@@ -124,59 +228,6 @@ func (t *TopK) PayloadBytes(n int) int64 { return int64(4 * t.k) }
 // Reset implements Algorithm.
 func (t *TopK) Reset() { t.ef.reset() }
 
-// topKIndices returns the indices of the k largest |v| entries using an
-// index max-heap: O(n) heapify + O(k log n) extraction.
-func topKIndices(v []float32, k int) []int32 {
-	n := len(v)
-	if k >= n {
-		out := make([]int32, n)
-		for i := range out {
-			out[i] = int32(i)
-		}
-		return out
-	}
-	abs := func(i int32) float32 {
-		x := v[i]
-		if x < 0 {
-			return -x
-		}
-		return x
-	}
-	heap := make([]int32, n)
-	for i := range heap {
-		heap[i] = int32(i)
-	}
-	siftDown := func(lo, hi int) {
-		root := lo
-		for {
-			child := 2*root + 1
-			if child >= hi {
-				break
-			}
-			if child+1 < hi && abs(heap[child+1]) > abs(heap[child]) {
-				child++
-			}
-			if abs(heap[child]) <= abs(heap[root]) {
-				break
-			}
-			heap[root], heap[child] = heap[child], heap[root]
-			root = child
-		}
-	}
-	for i := n/2 - 1; i >= 0; i-- {
-		siftDown(i, n)
-	}
-	out := make([]int32, 0, k)
-	hi := n
-	for len(out) < k {
-		out = append(out, heap[0])
-		hi--
-		heap[0] = heap[hi]
-		siftDown(0, hi)
-	}
-	return out
-}
-
 // ---- Gaussian-K ----
 
 // GaussianK (Shi et al., the paper's reference [25]) avoids Top-K's heap by
@@ -188,24 +239,25 @@ type GaussianK struct {
 	k  int
 	n  int
 	ef errorFeedback
+	sc sparseScratch
 }
 
 // NewGaussianK builds a Gaussian-K sparsifier from the options.
 func NewGaussianK(o Options) *GaussianK {
 	o.validate()
-	return &GaussianK{k: o.K(), n: o.N, ef: newErrorFeedback(o.N)}
+	return &GaussianK{k: o.K(), n: o.N, ef: newErrorFeedback(o.N), sc: newSparseScratch(0, o.K())}
 }
 
 // Name implements Algorithm.
 func (gk *GaussianK) Name() string { return "gaussiank" }
 
-// Encode estimates the Gaussian threshold and selects entries above it.
+// Encode estimates the Gaussian threshold and selects entries above it. The
+// returned payload aliases instance scratch (valid until the next Encode).
 func (gk *GaussianK) Encode(g []float32) Payload {
 	acc := gk.ef.accumulate(g)
 	fit := stats.FitGaussian(acc)
 	tau := fit.TailThreshold(float64(gk.k) / float64(gk.n))
-	var idx []int32
-	var val []float32
+	idx, val := gk.sc.idx[:0], gk.sc.val[:0]
 	for i, x := range acc {
 		d := float64(x) - fit.Mu
 		if d < 0 {
@@ -233,11 +285,12 @@ func (gk *GaussianK) Encode(g []float32) Payload {
 				best = int32(i)
 			}
 		}
-		idx = []int32{best}
-		val = []float32{acc[best]}
+		idx = append(idx, best)
+		val = append(val, acc[best])
 	}
+	gk.sc.idx, gk.sc.val = idx, val
 	gk.ef.retain(acc, idx)
-	return sparsePayload(idx, val)
+	return gk.sc.payload()
 }
 
 // Exchange implements Algorithm via the sparse allgather.
@@ -260,40 +313,46 @@ func (gk *GaussianK) Reset() { gk.ef.reset() }
 // (Stich et al., the paper's reference [27]). It is the cheapest sparsifier
 // computationally — O(k) selection — but converges slower for a fixed k.
 type RandK struct {
-	k   int
-	n   int
-	ef  errorFeedback
-	rng *tensor.RNG
+	k    int
+	n    int
+	ef   errorFeedback
+	sc   sparseScratch
+	seen map[int32]struct{}
+	rng  *tensor.RNG
 }
 
 // NewRandK builds a Rand-K sparsifier from the options.
 func NewRandK(o Options) *RandK {
 	o.validate()
-	return &RandK{k: o.K(), n: o.N, ef: newErrorFeedback(o.N), rng: tensor.NewRNG(o.Seed)}
+	return &RandK{
+		k: o.K(), n: o.N, ef: newErrorFeedback(o.N),
+		sc:   newSparseScratch(0, o.K()),
+		seen: make(map[int32]struct{}, o.K()),
+		rng:  tensor.NewRNG(o.Seed),
+	}
 }
 
 // Name implements Algorithm.
 func (r *RandK) Name() string { return "randk" }
 
-// Encode samples k distinct coordinates (Floyd's algorithm).
+// Encode samples k distinct coordinates (Floyd's algorithm). The returned
+// payload aliases instance scratch (valid until the next Encode).
 func (r *RandK) Encode(g []float32) Payload {
 	acc := r.ef.accumulate(g)
-	seen := make(map[int32]struct{}, r.k)
-	idx := make([]int32, 0, r.k)
+	clear(r.seen)
+	idx := r.sc.idx[:0]
 	for j := r.n - r.k; j < r.n; j++ {
 		t := int32(r.rng.Intn(j + 1))
-		if _, dup := seen[t]; dup {
+		if _, dup := r.seen[t]; dup {
 			t = int32(j)
 		}
-		seen[t] = struct{}{}
+		r.seen[t] = struct{}{}
 		idx = append(idx, t)
 	}
-	val := make([]float32, len(idx))
-	for i, ix := range idx {
-		val[i] = acc[ix]
-	}
+	r.sc.idx = idx
+	r.sc.valuesAt(acc)
 	r.ef.retain(acc, idx)
-	return sparsePayload(idx, val)
+	return r.sc.payload()
 }
 
 // Exchange implements Algorithm via the sparse allgather.

@@ -86,6 +86,15 @@ type A2SGD struct {
 	allgather bool // §4.4 future work: allgather-based mean exchange
 	errorVec  []float32
 	stats     Stats
+
+	// Reusable scratch (zero-allocation steady state): payload backs the
+	// two-scalar Encode result (the returned Payload aliases it — valid
+	// until the next Encode on this instance), mu is Exchange's working
+	// copy of the means, and gatherBuf holds the allgathered (µ+, µ−)
+	// pairs of the WithAllgather exchange.
+	payload   [2]float32
+	mu        [2]float32
+	gatherBuf []float32
 }
 
 // Option configures an A2SGD instance.
@@ -155,7 +164,8 @@ func (a *A2SGD) Stats() Stats { return a.stats }
 
 // Encode computes the two local means (Alg. 1 line 3) and, in Faithful
 // mode, materializes the error vector (line 4). The payload is exactly two
-// float32 values — 64 bits.
+// float32 values — 64 bits — backed by instance scratch (valid until the
+// next Encode on this instance).
 func (a *A2SGD) Encode(g []float32) compress.Payload {
 	s := Measure(g)
 	if a.oneMean {
@@ -180,15 +190,23 @@ func (a *A2SGD) Encode(g []float32) compress.Payload {
 			}
 		}
 	}
-	return compress.Payload{Data: []float32{s.MuPos, s.MuNeg}, Bits: 64}
+	a.payload[0], a.payload[1] = s.MuPos, s.MuNeg
+	return compress.Payload{Data: a.payload[:], Bits: 64}
 }
 
 // Exchange allreduce-averages the two means (Alg. 1 line 5) and rebuilds
 // the synchronized gradient in g (line 6).
 func (a *A2SGD) Exchange(p compress.Payload, g []float32, c *comm.Communicator) error {
-	mu := []float32{p.Data[0], p.Data[1]}
+	a.mu[0], a.mu[1] = p.Data[0], p.Data[1]
+	mu := a.mu[:]
 	if a.allgather {
-		all := make([]float32, 2*c.Size())
+		// The gather buffer lives on the instance like errorVec: its size
+		// depends only on the group width, so after the first step the
+		// allgather exchange runs without touching the allocator.
+		if cap(a.gatherBuf) < 2*c.Size() {
+			a.gatherBuf = make([]float32, 2*c.Size())
+		}
+		all := a.gatherBuf[:2*c.Size()]
 		if err := c.Allgather(mu, all); err != nil {
 			return err
 		}

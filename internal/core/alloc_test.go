@@ -1,0 +1,29 @@
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"a2sgd/internal/tensor"
+)
+
+// TestEncodeZeroAllocSteadyState: A2SGD's Encode — two-level means plus the
+// Faithful error vector — runs allocation-free on a warm instance, with the
+// two-scalar payload backed by instance scratch (the Payload contract in
+// compress.go).
+func TestEncodeZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; run without -race")
+	}
+	const n = 1 << 18
+	g := make([]float32, n)
+	tensor.NewRNG(17).NormVec(g, 0, 0.05)
+	for _, mode := range []Mode{Faithful, Fused} {
+		a := New(n, WithMode(mode))
+		a.Encode(g)
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		if allocs := testing.AllocsPerRun(10, func() { a.Encode(g) }); allocs != 0 {
+			t.Errorf("mode %v: %.1f allocs per steady-state Encode, want 0", mode, allocs)
+		}
+	}
+}

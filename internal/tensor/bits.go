@@ -1,0 +1,24 @@
+//go:build (386 || amd64 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm) && !purego
+
+package tensor
+
+import "unsafe"
+
+// BitsZeroCopy reports whether F32LEBytes returns a zero-copy view of the
+// float32 backing memory. True on little-endian targets (where Go's in-memory
+// float32 layout already matches the little-endian wire format) unless the
+// purego build tag disables the unsafe path; false builds fall back to the
+// portable per-element conversion in bits_portable.go.
+func BitsZeroCopy() bool { return true }
+
+// F32LEBytes reinterprets v's backing array as the little-endian byte stream
+// of its elements, without copying: len(result) == 4*len(v) and the two
+// slices alias the same memory. Mutating either is visible through the other.
+// Only meaningful when BitsZeroCopy() is true; callers on the wire hot path
+// must guard with BitsZeroCopy() and use PutF32LE/GetF32LE otherwise.
+func F32LEBytes(v []float32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))
+}

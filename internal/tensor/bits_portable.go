@@ -1,0 +1,26 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// PutF32LE encodes src into dst as little-endian float32 words. dst must
+// hold at least 4*len(src) bytes. This is the portable counterpart of
+// F32LEBytes: wire code paths use the zero-copy view when BitsZeroCopy()
+// allows and convert through a caller-owned (pooled) dst otherwise.
+func PutF32LE(dst []byte, src []float32) {
+	_ = dst[:4*len(src)]
+	for i, f := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(f))
+	}
+}
+
+// GetF32LE decodes little-endian float32 words from src into dst. src must
+// hold at least 4*len(dst) bytes.
+func GetF32LE(dst []float32, src []byte) {
+	_ = src[:4*len(dst)]
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}

@@ -1,0 +1,18 @@
+//go:build !((386 || amd64 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm) && !purego)
+
+package tensor
+
+// BitsZeroCopy reports that this build cannot alias float32 memory as
+// little-endian bytes (big-endian target, or the purego tag): callers must
+// convert through PutF32LE/GetF32LE into their own pooled buffers.
+func BitsZeroCopy() bool { return false }
+
+// F32LEBytes is the safe fallback: an allocating little-endian encode. The
+// wire hot paths never call it on fallback builds (they branch on
+// BitsZeroCopy and reuse pooled buffers via PutF32LE); it exists so code that
+// tolerates one allocation keeps working unchanged.
+func F32LEBytes(v []float32) []byte {
+	dst := make([]byte, 4*len(v))
+	PutF32LE(dst, v)
+	return dst
+}

@@ -215,19 +215,41 @@ func ParallelFor(n int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// signedMeansPart is one worker's partial reduction for ParSignedMeans.
+type signedMeansPart struct {
+	sp, sn float64
+	np     int
+}
+
+// signedMeansWorker reduces one chunk into *out. It is a named function (not
+// a closure) so the goroutine fan-out copies its arguments instead of
+// heap-allocating a capture — part of the hot path's allocation discipline.
+func signedMeansWorker(v Vec, out *signedMeansPart, wg *sync.WaitGroup) {
+	defer wg.Done()
+	var sp, sn float64
+	np := 0
+	for _, x := range v {
+		if x >= 0 {
+			sp += float64(x)
+			np++
+		} else {
+			sn -= float64(x)
+		}
+	}
+	*out = signedMeansPart{sp, sn, np}
+}
+
 // ParSignedMeans is SignedMeans with a parallel reduction; used on the
 // paper-scale vectors (up to 100 M elements) in Figure 2 and Table 2.
+// With one worker (GOMAXPROCS=1 or a short vector) it is allocation-free;
+// the parallel fan-out costs one partials slice per call.
 func ParSignedMeans(v Vec) (muPos, muNeg float32, nPos int) {
 	n := len(v)
-	if n < 4*grainSize {
+	workers := maxProcs()
+	if n < 4*grainSize || workers <= 1 {
 		return SignedMeans(v)
 	}
-	type part struct {
-		sp, sn float64
-		np     int
-	}
-	workers := maxProcs()
-	parts := make([]part, workers)
+	parts := make([]signedMeansPart, workers)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -240,20 +262,7 @@ func ParSignedMeans(v Vec) (muPos, muNeg float32, nPos int) {
 			hi = n
 		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var sp, sn float64
-			np := 0
-			for _, x := range v[lo:hi] {
-				if x >= 0 {
-					sp += float64(x)
-					np++
-				} else {
-					sn -= float64(x)
-				}
-			}
-			parts[w] = part{sp, sn, np}
-		}(w, lo, hi)
+		go signedMeansWorker(v[lo:hi], &parts[w], &wg)
 	}
 	wg.Wait()
 	var sp, sn float64
