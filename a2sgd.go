@@ -240,6 +240,17 @@ type TrainConfig struct {
 	// of bucket i+1 (DDP-style comm/compute overlap). Results are bitwise
 	// identical to the synchronous path for the same bucket plan.
 	Overlap bool
+	// Concurrency is the number of tag-space contexts the overlap path may
+	// use for concurrent bucket exchanges (comm.SetConcurrency, max 8).
+	// 0 or 1 keeps the deterministic single-worker mode. Requires Overlap.
+	// Per-bucket arithmetic is unchanged, so concurrent runs converge
+	// identically; only the wire interleaving differs.
+	Concurrency int
+	// Interleave launches each bucket's exchange from inside the backward
+	// pass as soon as backprop finalizes the bucket's layers (deepest
+	// first), hiding synchronization behind the remaining compute as well
+	// as behind encode. Requires Overlap.
+	Interleave bool
 	// Topology is the two-level hierarchy width in ranks per node: when > 1
 	// every collective runs intra-node first, then across node leaders,
 	// then broadcasts back (comm.SetTopology). Consecutive ranks share a
@@ -415,6 +426,8 @@ func clusterConfig(tc TrainConfig) cluster.Config {
 		Momentum:       tc.Momentum,
 		HistIters:      tc.HistIters,
 		LRScale:        tc.LRScale,
+		Concurrency:    tc.Concurrency,
+		Interleave:     tc.Interleave,
 	}
 	if tc.TCP {
 		cfg.GroupRunner = tcpnet.RunGroup

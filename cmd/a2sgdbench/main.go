@@ -66,6 +66,9 @@ func main() {
 	policiesFlag := flag.String("policies", "",
 		"per-bucket policies for the mixed sweep, semicolon separated — "+strings.Join(compress.PolicyUsage(), "; "))
 	jsonPath := flag.String("json", "", "write executed experiments' structured results as JSON to this file (\"-\" = stdout)")
+	comparePath := flag.String("compare", "",
+		"compare the hotpath run against the newest entry of this BENCH_hotpath.json trajectory file; exit nonzero on regression")
+	compareTol := flag.Float64("comparetol", 10, "regression tolerance for -compare, percent on ns/op (allocs/op must not grow at all)")
 	flag.Parse()
 
 	var algos []string
@@ -234,11 +237,15 @@ func main() {
 		})
 	})
 
+	var hotRep *bench.HotPathReport
 	run("hotpath", func() (any, error) {
 		// Steady-state ns/op + allocs/op of the zero-allocation hot path.
 		// `a2sgdbench -experiment hotpath -json BENCH_hotpath.json` is how
-		// the per-PR perf trajectory file is regenerated (CI uploads it).
-		return bench.HotPath(w)
+		// the per-PR perf trajectory file is regenerated (CI uploads it);
+		// `-compare BENCH_hotpath.json` gates against its newest entry.
+		rep, err := bench.HotPath(w)
+		hotRep = rep
+		return rep, err
 	})
 
 	if *jsonPath != "" {
@@ -252,6 +259,22 @@ func main() {
 			os.Stdout.Write(blob)
 		} else if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *comparePath != "" {
+		if hotRep == nil {
+			fmt.Fprintln(os.Stderr, "-compare requires the hotpath experiment to run (use -experiment hotpath or all)")
+			os.Exit(2)
+		}
+		base, err := bench.LoadHotPathBaseline(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\n================ hotpath compare ================\n")
+		if n := bench.CompareHotPath(w, hotRep, base, *compareTol); n > 0 {
 			os.Exit(1)
 		}
 	}

@@ -61,6 +61,8 @@ func main() {
 	transport := flag.String("transport", "inproc", "worker fabric: inproc|tcp")
 	bucketBytes := flag.Int("bucket-bytes", 0, "gradient bucket budget in bytes (0 = whole model)")
 	overlap := flag.Bool("overlap", false, "pipeline per-bucket sync behind encode")
+	concurrency := flag.Int("concurrency", 0, "concurrent bucket exchanges via comm tag-space contexts (0/1 = deterministic; requires -overlap)")
+	interleave := flag.Bool("interleave", false, "launch bucket exchanges from inside the backward pass (requires -overlap)")
 	topology := flag.Int("topology", 0, "two-level hierarchy width in ranks per node (0/1 = flat)")
 	auto := flag.Bool("auto", false, "plan buckets, per-bucket specs and topology from the cost model instead of the knobs above")
 	fabricName := flag.String("fabric", "ib100", "network model the -auto planner prices: ib100|tcp10g|nvlink+ib100|nvlink+tcp10g")
@@ -114,6 +116,11 @@ func main() {
 		}
 	}
 
+	// Runtime-execution knobs: valid with both the manual knobs and a
+	// planned schedule.
+	tc.Concurrency = *concurrency
+	tc.Interleave = *interleave
+
 	res, err := a2sgd.Train(tc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
@@ -124,8 +131,8 @@ func main() {
 	if res.Metric == models.MetricPerplexity {
 		metric = "perplexity"
 	}
-	fmt.Printf("model=%s algo=%s policy=%s workers=%d params=%d buckets=%d overlap=%v topology=%d\n",
-		res.Family, res.Algorithm, res.Policy, res.Workers, res.NumParams, res.Buckets, res.Overlap, res.Topology)
+	fmt.Printf("model=%s algo=%s policy=%s workers=%d params=%d buckets=%d overlap=%v concurrency=%d interleave=%v topology=%d\n",
+		res.Family, res.Algorithm, res.Policy, res.Workers, res.NumParams, res.Buckets, res.Overlap, res.Concurrency, res.Interleave, res.Topology)
 	fmt.Printf("%-6s %-12s %-12s %-12s %s\n", "epoch", "train-loss", "eval-loss", metric, "lr")
 	for _, e := range res.Epochs {
 		fmt.Printf("%-6d %-12.4f %-12.4f %-12.4f %.5f\n", e.Epoch, e.Loss, e.EvalLoss, e.Metric, e.LR)

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Regression gate for the hot-path trajectory file. BENCH_hotpath.json
+// accumulates one entry per PR; CompareHotPath diffs a fresh HotPath run
+// against the newest entry so CI can refuse a change that slows a
+// steady-state operation past tolerance — or allocates where the last entry
+// did not.
+
+// HotPathEntry is one labelled run in BENCH_hotpath.json's trajectory.
+type HotPathEntry struct {
+	Label  string         `json:"label"`
+	Report *HotPathReport `json:"report"`
+}
+
+// HotPathFile is the on-disk shape of BENCH_hotpath.json.
+type HotPathFile struct {
+	Benchmark string         `json:"benchmark"`
+	UnitNote  string         `json:"unit_note"`
+	Entries   []HotPathEntry `json:"entries"`
+}
+
+// LoadHotPathBaseline reads a BENCH_hotpath.json trajectory file and returns
+// its newest entry — the baseline a fresh run is compared against.
+func LoadHotPathBaseline(path string) (*HotPathEntry, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f HotPathFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if len(f.Entries) == 0 {
+		return nil, fmt.Errorf("bench: %s has no entries", path)
+	}
+	return &f.Entries[len(f.Entries)-1], nil
+}
+
+// CompareHotPath prints a per-benchmark regression table of cur against the
+// baseline entry and returns how many points regressed. A point regresses
+// when its ns/op exceeds the baseline by more than tolPct percent, or when
+// its allocs/op grew at all — the zero-allocation contract has no tolerance.
+// Points present on only one side are listed as new/gone and never count as
+// regressions, so adding a benchmark does not break the gate.
+func CompareHotPath(w io.Writer, cur *HotPathReport, base *HotPathEntry, tolPct float64) int {
+	baseByName := make(map[string]HotPathPoint, len(base.Report.Points))
+	for _, p := range base.Report.Points {
+		baseByName[p.Name] = p
+	}
+	fmt.Fprintf(w, "Hot path vs baseline %q (tolerance %.1f%% on ns/op, 0 on allocs/op)\n",
+		base.Label, tolPct)
+	regressions := 0
+	seen := make(map[string]bool, len(cur.Points))
+	rows := make([][]string, 0, len(cur.Points)+len(base.Report.Points))
+	for _, p := range cur.Points {
+		seen[p.Name] = true
+		bp, ok := baseByName[p.Name]
+		if !ok {
+			rows = append(rows, []string{p.Name, "-", fmt.Sprintf("%.0f", p.NsPerOp),
+				"-", "-", fmt.Sprintf("%d", p.AllocsPerOp), "new"})
+			continue
+		}
+		delta := 0.0
+		if bp.NsPerOp > 0 {
+			delta = (p.NsPerOp - bp.NsPerOp) / bp.NsPerOp * 100
+		}
+		verdict := "ok"
+		if delta > tolPct {
+			verdict = "REGRESSION(time)"
+			regressions++
+		}
+		if p.AllocsPerOp > bp.AllocsPerOp {
+			if verdict == "ok" {
+				verdict = "REGRESSION(allocs)"
+			} else {
+				verdict += "+allocs"
+			}
+			regressions++
+		}
+		rows = append(rows, []string{
+			p.Name, fmt.Sprintf("%.0f", bp.NsPerOp), fmt.Sprintf("%.0f", p.NsPerOp),
+			fmt.Sprintf("%+.1f%%", delta),
+			fmt.Sprintf("%d", bp.AllocsPerOp), fmt.Sprintf("%d", p.AllocsPerOp), verdict,
+		})
+	}
+	for _, bp := range base.Report.Points {
+		if !seen[bp.Name] {
+			rows = append(rows, []string{bp.Name, fmt.Sprintf("%.0f", bp.NsPerOp), "-",
+				"-", fmt.Sprintf("%d", bp.AllocsPerOp), "-", "gone"})
+		}
+	}
+	table(w, []string{"op", "base ns/op", "cur ns/op", "Δ", "base allocs", "cur allocs", "verdict"}, rows)
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d regression(s) beyond tolerance\n", regressions)
+	} else {
+		fmt.Fprintln(w, "no regressions beyond tolerance")
+	}
+	return regressions
+}

@@ -34,11 +34,33 @@ type HotPathReport struct {
 	GOMAXPROCS  int            `json:"gomaxprocs"`
 	ZeroCopyNet bool           `json:"zero_copy_net"` // tensor.BitsZeroCopy on this build
 	Points      []HotPathPoint `json:"points"`
+	// OverlapEfficiency is how much of the hideable synchronization time the
+	// overlapped step actually hides: (tSerial − tOverlap) / (tSerial −
+	// tEncodeOnly), where tSerial is the blocking encode+exchange step,
+	// tOverlap the best overlapped variant of the concurrency sweep, and
+	// tEncodeOnly the pure local encode (the floor no overlap can beat).
+	// 1.0 = the exchange is completely hidden behind posting; 0 = overlap
+	// bought nothing.
+	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"`
 }
 
 // hotPathN is the vgg16-scale bucket the suite measures: 1 M float32
 // elements = 4 MiB, the raw size of a large convolutional layer's bucket.
 const hotPathN = 1 << 20
+
+// bucketOp is the pooled typed exchange operation of the step sweep — the
+// same shape the cluster runtime posts through comm.Post, so the benchmark
+// pays exactly the training loop's posting cost (zero allocations).
+type bucketOp struct {
+	bk *compress.Bucketed
+	b  int
+	p  compress.Payload
+	g  []float32
+}
+
+func (o *bucketOp) RunOp(c *comm.Communicator) error {
+	return o.bk.ExchangeBucket(o.b, o.p, o.g, c)
+}
 
 // HotPath measures the steady-state hot path: warmed-instance Encode/Decode
 // for the paper's compression set, the inproc allreduce, the tcpnet framed
@@ -179,78 +201,135 @@ func HotPath(w io.Writer) (*HotPathReport, error) {
 	}
 
 	// One full bucketed synchronization step: 4 workers, the 4 MiB gradient in
-	// 4 buckets, encode + ordered exchange per bucket on the progress worker —
-	// the shape of the training runtime's overlapped step loop.
-	add("step/bucketed-a2sgd-4x4", hotPathN, 4*hotPathN, testing.Benchmark(func(b *testing.B) {
-		const workers, buckets = 4, 4
-		f := comm.NewInprocFabric(workers)
-		cs := f.Communicators()
-		bounds := make([]int, buckets+1)
-		for i := range bounds {
-			bounds[i] = i * hotPathN / buckets
-		}
-		algs := make([]*compress.Bucketed, workers)
-		grads := make([][]float32, workers)
-		for r := 0; r < workers; r++ {
-			rr := r
-			algs[r] = compress.NewBucketed(bounds, func(bk, n int) compress.Algorithm {
-				o := compress.DefaultOptions(n)
-				o.Seed = compress.BucketSeed(5, rr, bk)
-				a, err := compress.Build(&compress.Spec{Name: "a2sgd"}, o)
-				if err != nil {
-					panic(err)
-				}
-				return a
-			})
-			grads[r] = make([]float32, hotPathN)
-			copy(grads[r], g)
-		}
-		step := func(r int) error {
-			bk := algs[r]
-			reqs := make([]comm.Request, 0, buckets)
-			for i := 0; i < buckets; i++ {
-				i := i
-				gb := bk.BucketSlice(i, grads[r])
-				p := bk.EncodeBucket(i, gb)
-				reqs = append(reqs, cs[r].Async(func() error {
-					return bk.ExchangeBucket(i, p, gb, cs[r])
-				}))
+	// 4 buckets — the shape of the training runtime's step loop — measured as
+	// a concurrency sweep. "serial" blocks on each bucket's exchange before
+	// encoding the next; "encode-only" is the pure local encode (the floor no
+	// overlap can beat); the overlapped variants post every bucket as a typed
+	// pooled operation and WaitAll, at concurrency 1 (the deterministic mode;
+	// keeps the historical step/bucketed-a2sgd-4x4 name so the perf trajectory
+	// stays comparable) and at 4 tag-space contexts. The sweep's best
+	// overlapped time against the serial and encode-only anchors yields
+	// OverlapEfficiency.
+	stepBench := func(mode string, concurrency int) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			const workers, buckets = 4, 4
+			f := comm.NewInprocFabric(workers)
+			cs := f.Communicators()
+			bounds := make([]int, buckets+1)
+			for i := range bounds {
+				bounds[i] = i * hotPathN / buckets
 			}
-			return comm.WaitAll(reqs)
-		}
-		run := func(iters int) error {
-			var wg sync.WaitGroup
-			errs := make(chan error, workers)
+			algs := make([]*compress.Bucketed, workers)
+			grads := make([][]float32, workers)
+			ops := make([][]bucketOp, workers)
+			reqBufs := make([][]comm.Request, workers)
 			for r := 0; r < workers; r++ {
-				wg.Add(1)
-				go func(r int) {
-					defer wg.Done()
-					for i := 0; i < iters; i++ {
-						if err := step(r); err != nil {
-							errs <- err
-							return
+				rr := r
+				algs[r] = compress.NewBucketed(bounds, func(bk, n int) compress.Algorithm {
+					o := compress.DefaultOptions(n)
+					o.Seed = compress.BucketSeed(5, rr, bk)
+					a, err := compress.Build(&compress.Spec{Name: "a2sgd"}, o)
+					if err != nil {
+						panic(err)
+					}
+					return a
+				})
+				grads[r] = make([]float32, hotPathN)
+				copy(grads[r], g)
+				ops[r] = make([]bucketOp, buckets)
+				reqBufs[r] = make([]comm.Request, 0, buckets)
+				if concurrency > 1 {
+					if err := cs[r].SetConcurrency(concurrency); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			step := func(r int) error {
+				bk := algs[r]
+				switch mode {
+				case "encode":
+					for i := 0; i < buckets; i++ {
+						bk.EncodeBucket(i, bk.BucketSlice(i, grads[r]))
+					}
+					return nil
+				case "serial":
+					for i := 0; i < buckets; i++ {
+						gb := bk.BucketSlice(i, grads[r])
+						p := bk.EncodeBucket(i, gb)
+						if err := bk.ExchangeBucket(i, p, gb, cs[r]); err != nil {
+							return err
 						}
 					}
-				}(r)
+					return nil
+				default: // overlap: typed pooled posts, then one WaitAll
+					reqs := reqBufs[r][:0]
+					for i := 0; i < buckets; i++ {
+						gb := bk.BucketSlice(i, grads[r])
+						ops[r][i] = bucketOp{bk: bk, b: i, p: bk.EncodeBucket(i, gb), g: gb}
+						reqs = append(reqs, cs[r].Post(&ops[r][i]))
+					}
+					reqBufs[r] = reqs
+					return comm.WaitAll(reqs)
+				}
 			}
-			wg.Wait()
-			select {
-			case err := <-errs:
-				return err
-			default:
-				return nil
+			// run spawns the per-rank step loops gated on a start barrier, so
+			// the measured pass can reset the timer (and the allocation
+			// counter) after the goroutine spawns: what's counted is the
+			// steps, not the harness.
+			run := func(iters int, started func()) error {
+				var wg sync.WaitGroup
+				errs := make(chan error, workers)
+				start := make(chan struct{})
+				for r := 0; r < workers; r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						<-start
+						for i := 0; i < iters; i++ {
+							if err := step(r); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}(r)
+				}
+				started()
+				close(start)
+				wg.Wait()
+				select {
+				case err := <-errs:
+					return err
+				default:
+					return nil
+				}
 			}
-		}
-		if err := run(1); err != nil {
-			b.Fatal(err)
-		}
-		b.ResetTimer()
-		if err := run(b.N); err != nil {
-			b.Fatal(err)
-		}
-		b.StopTimer()
-		f.Shutdown()
-	}))
+			if err := run(1, func() {}); err != nil {
+				b.Fatal(err)
+			}
+			err := run(b.N, b.ResetTimer)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.Shutdown()
+		})
+	}
+	rSerial := stepBench("serial", 1)
+	rEncode := stepBench("encode", 1)
+	rCtx1 := stepBench("overlap", 1)
+	rCtx4 := stepBench("overlap", 4)
+	add("step/serial-4x4", hotPathN, 4*hotPathN, rSerial)
+	add("step/encode-only-4x4", hotPathN, 4*hotPathN, rEncode)
+	add("step/bucketed-a2sgd-4x4", hotPathN, 4*hotPathN, rCtx1)
+	add("step/overlap-ctx4-4x4", hotPathN, 4*hotPathN, rCtx4)
+	tSerial, tEncode := float64(rSerial.NsPerOp()), float64(rEncode.NsPerOp())
+	tOverlap := float64(rCtx1.NsPerOp())
+	if t4 := float64(rCtx4.NsPerOp()); t4 < tOverlap {
+		tOverlap = t4
+	}
+	if hideable := tSerial - tEncode; hideable > 0 {
+		rep.OverlapEfficiency = (tSerial - tOverlap) / hideable
+	}
 
 	fmt.Fprintf(w, "Hot path steady state (n = %d elements, GOMAXPROCS = %d, zero-copy net = %v)\n",
 		hotPathN, rep.GOMAXPROCS, rep.ZeroCopyNet)
@@ -266,5 +345,9 @@ func HotPath(w io.Writer) (*HotPathReport, error) {
 		})
 	}
 	table(w, []string{"op", "ns/op", "allocs/op", "B/op", "MB/s"}, rows)
+	if rep.OverlapEfficiency != 0 {
+		fmt.Fprintf(w, "overlap efficiency: %.2f (share of hideable exchange time the overlapped step hides)\n",
+			rep.OverlapEfficiency)
+	}
 	return rep, nil
 }

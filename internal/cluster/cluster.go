@@ -47,6 +47,23 @@ type Config struct {
 	// plan the results are bitwise identical to the synchronous path (the
 	// collectives execute in the same order with the same operands).
 	Overlap bool
+	// Concurrency is the number of comm tag-space contexts the overlap path
+	// may use (comm.SetConcurrency): 0 or 1 keeps the Deterministic mode —
+	// one progress worker, exchanges strictly in posting order, bitwise
+	// identical to the synchronous path — and n>1 lets up to n bucket
+	// exchanges proceed concurrently in disjoint tag blocks. Per-bucket
+	// arithmetic is unchanged either way (each bucket owns its algorithm
+	// instance and operates on a disjoint gradient range), so concurrent
+	// runs converge identically; only the wire interleaving differs.
+	Concurrency int
+	// Interleave launches a bucket's exchange during the backward pass, as
+	// soon as backprop has finalized the bucket's gradient range (deepest
+	// layers first), instead of after the whole backward — hiding
+	// synchronization behind the remaining compute as well as behind encode.
+	// Requires Overlap. Histogram-capture steps fall back to the
+	// post-backward launch on every rank (the capture needs the raw local
+	// gradient before any exchange rewrites it).
+	Interleave bool
 	// Topology is the two-level hierarchy width in ranks per node: when > 1,
 	// every collective (per-bucket exchanges, the setup broadcast and the
 	// final dense synchronization) runs the comm.SetTopology two-level
@@ -130,10 +147,17 @@ type Result struct {
 
 	// Buckets is the gradient-pipeline bucket count (1 = whole model), and
 	// BucketBounds its cumulative offsets (len Buckets+1). Overlap records
-	// whether exchanges were pipelined with gather/encode.
-	Buckets      int
-	BucketBounds []int
-	Overlap      bool
+	// whether exchanges were pipelined with gather/encode, Concurrency the
+	// number of tag-space contexts they ran under (1 = deterministic),
+	// Interleave whether launches were folded into the backward pass, and
+	// DirectBuckets how many buckets were exchanged in place (no gather or
+	// scatter copy).
+	Buckets       int
+	BucketBounds  []int
+	Overlap       bool
+	Concurrency   int
+	Interleave    bool
+	DirectBuckets int
 	// Topology is the hierarchy width the run used (ranks per node after
 	// clamping; 0 = flat).
 	Topology int
@@ -240,6 +264,23 @@ func (r *Result) Throughput(f netsim.Pricer, batchPerWorker int) float64 {
 	return float64(batchPerWorker*r.Workers) / it
 }
 
+// bucketExchangeOp is the typed, pooled unit of work the step loop posts to
+// the communicator (comm.Post): one bucket's collective exchange. The step
+// loop owns an array of nb of these and re-fills them in place every step,
+// so posting a bucket never allocates — posting a *bucketExchangeOp converts
+// to comm.Op without boxing. RunOp receives the tag-space context
+// communicator the operation was assigned to.
+type bucketExchangeOp struct {
+	bk *compress.Bucketed
+	b  int
+	p  compress.Payload
+	g  []float32
+}
+
+func (o *bucketExchangeOp) RunOp(c *comm.Communicator) error {
+	return o.bk.ExchangeBucket(o.b, o.p, o.g, c)
+}
+
 // bucketInfos derives each bucket's policy-facing metadata from the plan.
 func bucketInfos(plan nn.BucketPlan) []compress.BucketInfo {
 	infos := make([]compress.BucketInfo, len(plan.Buckets))
@@ -303,10 +344,21 @@ func Train(c Config) (*Result, error) {
 	if cfg.NewAlgorithm == nil && cfg.NewBucketAlgorithm == nil && sched == nil {
 		return nil, fmt.Errorf("cluster: NewAlgorithm, NewBucketAlgorithm or a Schedule is required")
 	}
-	// The schedule, when present, owns the pipeline knobs.
+	// The schedule, when present, owns the pipeline knobs. Concurrency and
+	// Interleave are runtime-execution knobs, not schedule-carried plan
+	// state, so they compose with either source.
 	overlap, topology := cfg.Overlap, cfg.Topology
 	if sched != nil {
 		overlap, topology = sched.Overlap, sched.Topology
+	}
+	if cfg.Concurrency < 0 || cfg.Concurrency > comm.MaxConcurrency {
+		return nil, fmt.Errorf("cluster: Concurrency %d out of range [0,%d]", cfg.Concurrency, comm.MaxConcurrency)
+	}
+	if cfg.Concurrency > 1 && !overlap {
+		return nil, fmt.Errorf("cluster: Concurrency > 1 requires Overlap (there is nothing to run concurrently on the synchronous path)")
+	}
+	if cfg.Interleave && !overlap {
+		return nil, fmt.Errorf("cluster: Interleave requires Overlap")
 	}
 
 	img, txt, err := data.ForFamily(cfg.Family, cfg.Seed)
@@ -331,6 +383,13 @@ func Train(c Config) (*Result, error) {
 		// final dense sync — runs the hierarchical schedule.
 		if topology > 1 {
 			if err := cm.SetTopology(topology); err != nil {
+				return err
+			}
+		}
+		// Tag-space contexts for concurrent bucket exchanges. After the
+		// topology call so the shadow contexts replay the same splits.
+		if cfg.Concurrency > 1 {
+			if err := cm.SetConcurrency(cfg.Concurrency); err != nil {
 				return err
 			}
 		}
@@ -412,15 +471,37 @@ func Train(c Config) (*Result, error) {
 		sampleRNG := tensor.NewRNG(cfg.Seed*1000 + uint64(rank) + 1)
 		grad := make([]float32, n)
 		reqScratch := make([]comm.Request, 0, nb)
+		exchangeOps := make([]bucketExchangeOp, nb)
 
-		// encodeBucket gathers bucket b (unless the histogram capture already
-		// gathered the whole gradient), checks it is finite and encodes it,
-		// returning the payload and the encode duration. Both the serial
-		// loop and the parallel worker pool below run exactly this.
-		encodeBucket := func(b int, histStep bool) (compress.Payload, float64, error) {
+		// Direct buckets: when a bucket's range lies inside a single
+		// parameter tensor, encode from — and reconstruct into — the layer's
+		// live gradient storage, skipping both the gather copy and the
+		// scatter copy. bucketGrad[b] is the view every path encodes and
+		// exchanges; for non-direct buckets it is the staging slice of grad.
+		bucketGrad := make([][]float32, nb)
+		direct := make([]bool, nb)
+		directCount := 0
+		for b := 0; b < nb; b++ {
 			lo, hi := bounds[b], bounds[b+1]
-			gb := grad[lo:hi]
-			if !histStep {
+			if gs := model.GradSlice(lo, hi); gs != nil {
+				bucketGrad[b] = gs
+				direct[b] = true
+				directCount++
+			} else {
+				bucketGrad[b] = grad[lo:hi]
+			}
+		}
+
+		// encodeBucket gathers bucket b (direct buckets encode in place;
+		// pregathered means the histogram capture already copied the whole
+		// gradient), checks it is finite and encodes it, returning the
+		// payload and the encode duration. The serial loop, the parallel
+		// worker pool and the interleaved backward callbacks all run exactly
+		// this.
+		encodeBucket := func(b int, pregathered bool) (compress.Payload, float64, error) {
+			lo, hi := bounds[b], bounds[b+1]
+			gb := bucketGrad[b]
+			if !pregathered && !direct[b] {
 				model.GatherGradsRange(grad, lo, hi) // disjoint ranges: safe concurrently
 			}
 			if tensor.HasNaNOrInf(gb) {
@@ -429,6 +510,12 @@ func Train(c Config) (*Result, error) {
 			t1 := time.Now()
 			p := bucketed.EncodeBucket(b, gb)
 			return p, time.Since(t1).Seconds(), nil
+		}
+
+		// postBucket fills bucket b's pooled op and posts its exchange.
+		postBucket := func(b int, p compress.Payload) comm.Request {
+			exchangeOps[b] = bucketExchangeOp{bk: bucketed, b: b, p: p, g: bucketGrad[b]}
+			return cm.Post(&exchangeOps[b])
 		}
 
 		// Parallel bucket encode (overlap path): a worker pool gathers and
@@ -443,7 +530,7 @@ func Train(c Config) (*Result, error) {
 		// run all cfg.Workers ranks in one process, so each rank claiming
 		// GOMAXPROCS workers would only oversubscribe.
 		encWorkers := 0
-		if overlap && nb > 1 {
+		if overlap && !cfg.Interleave && nb > 1 {
 			if w := runtime.GOMAXPROCS(0) / cfg.Workers; w > 1 {
 				encWorkers = w
 				if encWorkers > nb {
@@ -509,73 +596,108 @@ func Train(c Config) (*Result, error) {
 					batch = txt.Sample(sampleRNG, cfg.BatchPerWorker, cfg.SeqLen)
 				}
 				model.ZeroGrads()
-				t0 := time.Now()
-				loss := model.Step(batch)
-				computeSec += time.Since(t0).Seconds()
-				lossSum += loss
-
-				// Figure-1 capture needs the raw local gradient in one
-				// piece; on capture steps gather everything up front
-				// (values are identical — only the copy order differs).
-				histStep := rank == 0 && histAt[globalStep]
-				if histStep {
-					model.GatherGrads(grad)
-					h := stats.NewHistogram(-0.25, 0.25, 101)
-					h.AddSlice(grad)
-					hists = append(hists, h)
-				}
-
-				// Bucketed gradient pipeline: gather bucket b, encode it,
-				// and either run its collective inline (synchronous) or
-				// post it to the communicator's progress worker so it
-				// proceeds while bucket b+1 is gathered and encoded. With
-				// encode workers, gather+encode of all buckets fans out
-				// across the pool and the exchanges are still enqueued in
-				// bucket order as each encode completes.
+				// Histogram steps take the post-backward launch path on
+				// EVERY rank (the capture needs the raw local gradient
+				// before any exchange rewrites it, and the posting order
+				// must stay identical across ranks — concurrent contexts
+				// are assigned by posting sequence). Only rank 0 actually
+				// pre-gathers and captures.
+				histStep := histAt[globalStep]
+				pregathered := histStep && rank == 0
 				reqs := reqScratch[:0]
-				if encWorkers > 0 {
-					encHist = histStep // read by workers after the channel send below
-					for b := 0; b < nb; b++ {
-						encWork <- b
-					}
-					for b := 0; b < nb; b++ {
-						<-encDone[b]
-						if err := encErr[b]; err != nil {
-							encErr[b] = nil
-							for b2 := b + 1; b2 < nb; b2++ { // drain the step's remaining tokens
-								<-encDone[b2]
-							}
-							_ = comm.WaitAll(reqs) // drain in-flight buckets first
-							return fmt.Errorf("%w (step %d)", err, globalStep)
+				t0 := time.Now()
+				var loss float64
+				if cfg.Interleave && !histStep {
+					// Backprop-interleaved launch: encode and post each
+					// bucket from inside the backward pass as soon as its
+					// gradient range is final, deepest buckets first. The
+					// exchange proceeds on the progress workers while the
+					// shallower layers are still back-propagating.
+					next := nb - 1
+					var encFail error
+					var inlineEnc float64
+					loss = model.StepInterleaved(batch, func(lo int) {
+						if encFail != nil {
+							return
 						}
-						encodeSec += encDur[b]
-						b := b
-						gb := grad[bounds[b]:bounds[b+1]]
-						payload := encPayloads[b]
-						reqs = append(reqs, cm.Async(func() error {
-							return bucketed.ExchangeBucket(b, payload, gb, cm)
-						}))
+						for next >= 0 && bounds[next] >= lo {
+							p, dur, err := encodeBucket(next, false)
+							if err != nil {
+								encFail = err
+								return
+							}
+							inlineEnc += dur
+							reqs = append(reqs, postBucket(next, p))
+							next--
+						}
+					})
+					// The encode time spent inside the backward callbacks
+					// is compression cost, not model compute.
+					computeSec += time.Since(t0).Seconds() - inlineEnc
+					encodeSec += inlineEnc
+					lossSum += loss
+					if encFail != nil {
+						_ = comm.WaitAll(reqs) // drain in-flight buckets first
+						return fmt.Errorf("%w (step %d)", encFail, globalStep)
 					}
 				} else {
-					for b := 0; b < nb; b++ {
-						payload, dur, err := encodeBucket(b, histStep)
-						if err != nil {
-							_ = comm.WaitAll(reqs) // drain in-flight buckets first
-							return fmt.Errorf("%w (step %d)", err, globalStep)
+					loss = model.Step(batch)
+					computeSec += time.Since(t0).Seconds()
+					lossSum += loss
+
+					// Figure-1 capture needs the raw local gradient in one
+					// piece; on capture steps gather everything up front
+					// (values are identical — only the copy order differs).
+					if pregathered {
+						model.GatherGrads(grad)
+						h := stats.NewHistogram(-0.25, 0.25, 101)
+						h.AddSlice(grad)
+						hists = append(hists, h)
+					}
+
+					// Bucketed gradient pipeline: gather bucket b, encode
+					// it, and either run its collective inline
+					// (synchronous) or post it to the communicator's
+					// progress workers so it proceeds while bucket b+1 is
+					// gathered and encoded. With encode workers,
+					// gather+encode of all buckets fans out across the pool
+					// and the exchanges are still enqueued in bucket order
+					// as each encode completes.
+					if encWorkers > 0 {
+						encHist = pregathered // read by workers after the channel send below
+						for b := 0; b < nb; b++ {
+							encWork <- b
 						}
-						encodeSec += dur
-						gb := grad[bounds[b]:bounds[b+1]]
-						if overlap {
-							b := b
-							reqs = append(reqs, cm.Async(func() error {
-								return bucketed.ExchangeBucket(b, payload, gb, cm)
-							}))
-						} else {
-							t2 := time.Now()
-							if err := bucketed.ExchangeBucket(b, payload, gb, cm); err != nil {
-								return err
+						for b := 0; b < nb; b++ {
+							<-encDone[b]
+							if err := encErr[b]; err != nil {
+								encErr[b] = nil
+								for b2 := b + 1; b2 < nb; b2++ { // drain the step's remaining tokens
+									<-encDone[b2]
+								}
+								_ = comm.WaitAll(reqs) // drain in-flight buckets first
+								return fmt.Errorf("%w (step %d)", err, globalStep)
 							}
-							syncSec += time.Since(t2).Seconds()
+							encodeSec += encDur[b]
+							reqs = append(reqs, postBucket(b, encPayloads[b]))
+						}
+					} else {
+						for b := 0; b < nb; b++ {
+							payload, dur, err := encodeBucket(b, pregathered)
+							if err != nil {
+								_ = comm.WaitAll(reqs) // drain in-flight buckets first
+								return fmt.Errorf("%w (step %d)", err, globalStep)
+							}
+							encodeSec += dur
+							if overlap {
+								reqs = append(reqs, postBucket(b, payload))
+							} else {
+								t2 := time.Now()
+								if err := bucketed.ExchangeBucket(b, payload, bucketGrad[b], cm); err != nil {
+									return err
+								}
+								syncSec += time.Since(t2).Seconds()
+							}
 						}
 					}
 				}
@@ -587,7 +709,17 @@ func Train(c Config) (*Result, error) {
 					syncSec += time.Since(t2).Seconds()
 					reqScratch = reqs
 				}
-				model.ScatterGrads(grad)
+				// Direct buckets were reconstructed in place by their
+				// exchange; only staged buckets need the scatter copy.
+				if directCount == 0 {
+					model.ScatterGrads(grad)
+				} else {
+					for b := 0; b < nb; b++ {
+						if !direct[b] {
+							model.ScatterGradsRange(grad, bounds[b], bounds[b+1])
+						}
+					}
+				}
 				opt.Step(model.Params(), lr)
 				stepSec += time.Since(t0).Seconds()
 				globalStep++
@@ -635,6 +767,9 @@ func Train(c Config) (*Result, error) {
 			res.Buckets = nb
 			res.BucketBounds = append([]int(nil), bounds...)
 			res.Overlap = overlap
+			res.Concurrency = cm.Concurrency()
+			res.Interleave = cfg.Interleave
+			res.DirectBuckets = directCount
 			res.Topology = cm.Topology()
 			res.BucketPayloadBytes = bucketed.PayloadBytesPerBucket()
 			res.BucketExchangeKinds = bucketed.ExchangeKinds()

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// concCfg is bucketCfg plus the concurrent-execution knobs.
+func concCfg(algo string, workers int, concurrency int, interleave bool) Config {
+	cfg := bucketCfg(algo, workers, fourBucketBytes, true)
+	cfg.Concurrency = concurrency
+	cfg.Interleave = interleave
+	return cfg
+}
+
+// trainWithCheckpoint runs Train capturing the final synchronized weights,
+// so equality checks cover every parameter bit, not just the epoch stats.
+func trainWithCheckpoint(t *testing.T, cfg Config) (*Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.Checkpoint = &buf
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestConcurrencyMatrixBitwise is the mode-equivalence matrix: for a fixed
+// seed and bucket plan, the deterministic overlap path (concurrency 1), the
+// concurrent-collectives path (4 tag-space contexts) and the
+// backprop-interleaved launch all produce bitwise-identical training — each
+// bucket's exchange arithmetic is independent of the others, so neither the
+// launch point nor the wire interleaving can change a single bit of the
+// result. The serial synchronous run anchors the matrix.
+func TestConcurrencyMatrixBitwise(t *testing.T) {
+	for _, algo := range []string{"dense", "a2sgd", "qsgd"} {
+		base, wantCkpt := trainWithCheckpoint(t, bucketCfg(algo, 4, fourBucketBytes, false))
+		if base.Buckets < 2 {
+			t.Fatalf("%s: plan produced %d buckets, want >= 2", algo, base.Buckets)
+		}
+		variants := []struct {
+			label string
+			cfg   Config
+		}{
+			{"overlap-det", concCfg(algo, 4, 0, false)},
+			{"concurrent-4", concCfg(algo, 4, 4, false)},
+			{"interleave-det", concCfg(algo, 4, 0, true)},
+			{"interleave-concurrent-4", concCfg(algo, 4, 4, true)},
+		}
+		for _, v := range variants {
+			res, ckpt := trainWithCheckpoint(t, v.cfg)
+			assertRunsIdentical(t, algo+" "+v.label, base, res)
+			if !bytes.Equal(ckpt, wantCkpt) {
+				t.Errorf("%s %s: final weights differ from the serial run", algo, v.label)
+			}
+			if v.cfg.Interleave && res.DirectBuckets == 0 {
+				t.Errorf("%s %s: expected some direct (in-place) buckets in the fnn3 plan", algo, v.label)
+			}
+		}
+	}
+}
+
+// TestConcurrentInterleaveOverTCP runs the most aggressive mode — concurrent
+// contexts plus backprop-interleaved launch — over real loopback sockets and
+// checks it matches the in-process fabric bitwise. This exercises the TCP
+// transport's tag matcher under genuinely interleaved wire traffic.
+func TestConcurrentInterleaveOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration")
+	}
+	inproc, wantCkpt := trainWithCheckpoint(t, concCfg("a2sgd", 3, 4, true))
+	tcp := concCfg("a2sgd", 3, 4, true)
+	tcp.GroupRunner = tcpRunner
+	rt, ckpt := trainWithCheckpoint(t, tcp)
+	assertRunsIdentical(t, "a2sgd concurrent+interleave tcp-vs-inproc", inproc, rt)
+	if !bytes.Equal(ckpt, wantCkpt) {
+		t.Error("final weights differ between tcp and inproc")
+	}
+}
+
+// TestHistogramCaptureUnderInterleave: capture steps fall back to the
+// post-backward launch on every rank, so the histogram sees the raw local
+// gradient and the run still completes (and stays deterministic).
+func TestHistogramCaptureUnderInterleave(t *testing.T) {
+	cfg := concCfg("a2sgd", 2, 4, true)
+	cfg.HistIters = []int{0, 5}
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Histograms) != 2 {
+		t.Fatalf("captured %d histograms, want 2", len(res.Histograms))
+	}
+	if res.Histograms[0].Total() == 0 {
+		t.Error("histogram 0 is empty")
+	}
+}
+
+// TestConcurrencyValidation pins the knob preconditions.
+func TestConcurrencyValidation(t *testing.T) {
+	cfg := quickCfg("fnn3", "a2sgd", 2)
+	cfg.Interleave = true
+	if _, err := Train(cfg); err == nil {
+		t.Error("Interleave without Overlap must fail")
+	}
+	cfg = quickCfg("fnn3", "a2sgd", 2)
+	cfg.Concurrency = 2
+	if _, err := Train(cfg); err == nil {
+		t.Error("Concurrency > 1 without Overlap must fail")
+	}
+	cfg = quickCfg("fnn3", "a2sgd", 2)
+	cfg.Overlap = true
+	cfg.Concurrency = 99
+	if _, err := Train(cfg); err == nil {
+		t.Error("Concurrency beyond comm.MaxConcurrency must fail")
+	}
+}
+
+// TestConcurrentHierarchical: tag-space contexts compose with the two-level
+// topology (each shadow context replays the splits); the hierarchical
+// concurrent run must match the hierarchical deterministic run bitwise.
+func TestConcurrentHierarchical(t *testing.T) {
+	det := concCfg("a2sgd", 4, 0, false)
+	det.Topology = 2
+	rd, wantCkpt := trainWithCheckpoint(t, det)
+	conc := concCfg("a2sgd", 4, 4, true)
+	conc.Topology = 2
+	rc, ckpt := trainWithCheckpoint(t, conc)
+	assertRunsIdentical(t, "a2sgd hierarchical concurrent-vs-det", rd, rc)
+	if !bytes.Equal(ckpt, wantCkpt) {
+		t.Error("final weights differ between hierarchical concurrent and deterministic runs")
+	}
+}

@@ -1,100 +1,283 @@
 package comm
 
-// Nonblocking collectives. Every Communicator owns a lazily-started progress
-// worker (one goroutine, mirroring an MPI progress thread) that executes
-// posted operations strictly in posting order. Overlap is therefore
-// communication-vs-computation: the owner goroutine keeps computing (e.g.
-// gathering and encoding the next gradient bucket) while the worker drives
-// the fabric. Operations never run concurrently with each other, so the
-// collectives' tag space needs no per-operation contexts and the execution
-// order — hence the floating-point reduction order — is identical to issuing
-// the same operations synchronously.
+import "errors"
+
+// Nonblocking collectives. Every Communicator owns a set of progress workers
+// (lazily started, one goroutine per tag-space context, mirroring MPI
+// progress threads) that execute posted operations. In the default
+// Deterministic mode — concurrency 1 — a single worker runs operations
+// strictly in posting order, so the execution order and the floating-point
+// reduction order are identical to issuing the same operations
+// synchronously. SetConcurrency(n) adds n-1 shadow communicators in disjoint
+// tag-space contexts (see ctx.go): posted operations are assigned to
+// contexts round-robin by posting sequence number, operations within a
+// context still run in posting order, and operations in different contexts
+// run concurrently — several bucket rings in flight at once. Because the
+// context assignment depends only on the posting sequence, every rank routes
+// the k-th posted collective to the same context and the same tag block;
+// the transports' tag matchers demultiplex the interleaved wire traffic.
 //
-// Contract: all ranks must post the same sequence of collectives, and the
-// owner must not issue blocking collectives on the communicator while posted
-// operations are outstanding (Wait first). Both transports (the in-process
-// channel fabric and tcpnet) are supported — the worker sits above the
-// Transport interface.
+// Requests are pooled: posting draws a request from the communicator's
+// freelist and the first Wait returns it, so a steady-state post/Wait cycle
+// never touches the allocator. The built-in collectives post as typed
+// operations (no closure); arbitrary communication work posts through the Op
+// interface, whose RunOp receives the context communicator the operation was
+// assigned to. The legacy closure form Async(f) still exists for
+// non-collective work; closures capture the parent communicator, so they are
+// always pinned to context 0 and keep their strict mutual order.
+//
+// Contract: all ranks must post the same sequence of operations with the
+// same concurrency setting, and the owner must not issue blocking
+// collectives on the communicator while posted operations are outstanding
+// (Wait first). A Request belongs to one waiter: Wait is idempotent for the
+// holder, but the request is recycled on the first Wait — its error remains
+// readable until the communicator reuses the request for a later post.
 
 // Request is the handle of one posted nonblocking operation.
 type Request interface {
 	// Wait blocks until the operation completes and returns its error.
-	// Wait is idempotent: further calls return the same error immediately.
+	// Wait is idempotent until the request is recycled by a later post on
+	// the same communicator; do not call Wait from multiple goroutines.
 	Wait() error
 }
 
+// Op is a typed unit of asynchronous communication work. RunOp receives the
+// communicator of the tag-space context the operation was assigned to and
+// must issue all its collectives on it. Implementations are typically small
+// caller-pooled structs — posting a *T converts to Op without allocating —
+// which is what replaces the closure queue on the training hot path.
+type Op interface {
+	RunOp(c *Communicator) error
+}
+
+// opKind discriminates the typed operations a request can carry.
+type opKind uint8
+
+const (
+	opFn opKind = iota // legacy closure, pinned to context 0
+	opCustom
+	opAllreduceMean
+	opAllreduceSum
+	opAllgather
+)
+
 type asyncReq struct {
-	done chan struct{}
-	err  error
+	c    *Communicator
+	done chan struct{} // 1-buffered completion token, persists across reuse
+
+	kind opKind
+	fn   func() error
+	op   Op
+	v    []float32
+	out  []float32
+	algo AllreduceAlgorithm
+
+	err      error
+	released bool
+	next     *asyncReq // freelist link
 }
 
 func (r *asyncReq) Wait() error {
+	if r.released {
+		return r.err
+	}
 	<-r.done
-	return r.err
+	err := r.err
+	r.released = true
+	r.c.recycleReq(r)
+	return err
 }
 
-type asyncJob struct {
-	f   func() error
-	req *asyncReq
+// run executes the request's operation on the context communicator cc.
+func (r *asyncReq) run(cc *Communicator) error {
+	switch r.kind {
+	case opFn:
+		return r.fn()
+	case opCustom:
+		return r.op.RunOp(cc)
+	case opAllreduceMean:
+		return cc.AllreduceMean(r.v, r.algo)
+	case opAllreduceSum:
+		return cc.AllreduceSum(r.v, r.algo)
+	case opAllgather:
+		return cc.Allgather(r.v, r.out)
+	}
+	return nil
 }
 
-// Async posts f for execution on the communicator's progress worker and
-// returns its Request. Posted functions run strictly in posting order, one
-// at a time; the worker parks (exits) when the queue drains, so an idle
-// communicator holds no goroutine.
-func (c *Communicator) Async(f func() error) Request {
-	r := &asyncReq{done: make(chan struct{})}
+// reqQueue is one context's FIFO of posted requests. buf[head:] are pending;
+// the slice is compacted when it drains, so after warm-up a post/run cycle
+// reuses its capacity and never allocates. loop is the context's worker body,
+// built once at queue initialization: `go q.loop()` passes the stored funcval
+// straight to the runtime, whereas `go c.ctxLoop(k)` would heap-allocate a
+// wrapper and argument frame on every worker restart — two allocations per
+// step the pooled path must not pay.
+type reqQueue struct {
+	buf     []*asyncReq
+	head    int
+	running bool
+	loop    func()
+}
+
+// initQueues builds n context queues with their worker closures. Caller
+// holds asyncMu.
+func (c *Communicator) initQueues(n int) {
+	c.ctxQueues = make([]reqQueue, n)
+	for k := range c.ctxQueues {
+		k := k
+		c.ctxQueues[k].loop = func() { c.ctxLoop(k) }
+	}
+}
+
+// newReq draws a request from the freelist (or allocates on cold start) and
+// resets it for posting. Caller fills the operation fields.
+func (c *Communicator) newReq() *asyncReq {
 	c.asyncMu.Lock()
-	c.asyncQueue = append(c.asyncQueue, asyncJob{f: f, req: r})
-	if !c.asyncRunning {
-		c.asyncRunning = true
-		go c.asyncLoop()
+	r := c.freeReqs
+	if r != nil {
+		c.freeReqs = r.next
 	}
 	c.asyncMu.Unlock()
+	if r == nil {
+		r = &asyncReq{c: c, done: make(chan struct{}, 1)}
+	}
+	r.next = nil
+	r.err = nil
+	r.released = false
 	return r
 }
 
-func (c *Communicator) asyncLoop() {
+// recycleReq clears the request's payload references and returns it to the
+// freelist.
+func (c *Communicator) recycleReq(r *asyncReq) {
+	r.fn = nil
+	r.op = nil
+	r.v = nil
+	r.out = nil
+	c.asyncMu.Lock()
+	r.next = c.freeReqs
+	c.freeReqs = r
+	c.asyncMu.Unlock()
+}
+
+// enqueue routes a request to a context queue and ensures its worker runs.
+// Typed operations are distributed round-robin by posting sequence (every
+// rank posts the same sequence, so every rank picks the same context for the
+// k-th operation); pinned requests (legacy closures) always take context 0.
+func (c *Communicator) enqueue(r *asyncReq, pinned bool) {
+	c.asyncMu.Lock()
+	if len(c.ctxQueues) == 0 {
+		c.initQueues(1)
+	}
+	k := 0
+	if !pinned && len(c.ctxQueues) > 1 {
+		k = int(c.postSeq % uint64(len(c.ctxQueues)))
+		c.postSeq++
+	}
+	q := &c.ctxQueues[k]
+	q.buf = append(q.buf, r)
+	if !q.running {
+		q.running = true
+		go q.loop()
+	}
+	c.asyncMu.Unlock()
+}
+
+// ctxLoop is context k's progress worker: it drains the context queue in
+// FIFO order and parks (exits) when the queue is empty, so an idle
+// communicator holds no goroutines.
+func (c *Communicator) ctxLoop(k int) {
+	cc := c.ctxComm(k)
 	for {
 		c.asyncMu.Lock()
-		if len(c.asyncQueue) == 0 {
-			c.asyncRunning = false
+		q := &c.ctxQueues[k]
+		if q.head == len(q.buf) {
+			q.buf = q.buf[:0]
+			q.head = 0
+			q.running = false
 			c.asyncMu.Unlock()
 			return
 		}
-		j := c.asyncQueue[0]
-		c.asyncQueue = c.asyncQueue[1:]
+		r := q.buf[q.head]
+		q.buf[q.head] = nil
+		q.head++
 		c.asyncMu.Unlock()
-		j.req.err = j.f()
-		close(j.req.done)
+		r.err = r.run(cc)
+		r.done <- struct{}{}
 	}
+}
+
+// Post submits a typed operation for asynchronous execution and returns its
+// Request. Operations are assigned to tag-space contexts round-robin in
+// posting order; within a context they run serially, across contexts
+// concurrently (with concurrency 1 — the Deterministic default — this is
+// strict posting order). op.RunOp receives the assigned context
+// communicator. Posting is allocation-free in steady state when op is a
+// pointer to a caller-pooled struct.
+func (c *Communicator) Post(op Op) Request {
+	r := c.newReq()
+	r.kind = opCustom
+	r.op = op
+	c.enqueue(r, false)
+	return r
+}
+
+// Async posts f for execution on the communicator's progress worker and
+// returns its Request. Closures capture the parent communicator, so they are
+// pinned to context 0 regardless of the concurrency setting: posted
+// functions run strictly in posting order relative to each other. New code
+// on the hot path should use Post (typed, pooled, context-distributed)
+// instead.
+func (c *Communicator) Async(f func() error) Request {
+	r := c.newReq()
+	r.kind = opFn
+	r.fn = f
+	c.enqueue(r, true)
+	return r
 }
 
 // IAllreduceMean is the nonblocking AllreduceMean: it returns immediately;
 // v must not be touched until the returned Request's Wait succeeds, at which
 // point v holds the across-rank mean.
 func (c *Communicator) IAllreduceMean(v []float32, algo AllreduceAlgorithm) Request {
-	return c.Async(func() error { return c.AllreduceMean(v, algo) })
+	r := c.newReq()
+	r.kind = opAllreduceMean
+	r.v = v
+	r.algo = algo
+	c.enqueue(r, false)
+	return r
 }
 
 // IAllreduceSum is the nonblocking AllreduceSum.
 func (c *Communicator) IAllreduceSum(v []float32, algo AllreduceAlgorithm) Request {
-	return c.Async(func() error { return c.AllreduceSum(v, algo) })
+	r := c.newReq()
+	r.kind = opAllreduceSum
+	r.v = v
+	r.algo = algo
+	c.enqueue(r, false)
+	return r
 }
 
 // IAllgather is the nonblocking Allgather: neither in nor out may be touched
 // until Wait succeeds.
 func (c *Communicator) IAllgather(in, out []float32) Request {
-	return c.Async(func() error { return c.Allgather(in, out) })
+	r := c.newReq()
+	r.kind = opAllgather
+	r.v = in
+	r.out = out
+	c.enqueue(r, false)
+	return r
 }
 
-// WaitAll waits on every request and returns the first error.
+// WaitAll waits on every request and returns all errors joined (nil when
+// every operation succeeded) — a multi-bucket failure reports every failed
+// exchange, not just the first.
 func WaitAll(reqs []Request) error {
-	var first error
+	var errs []error
 	for _, r := range reqs {
-		if err := r.Wait(); err != nil && first == nil {
-			first = err
+		if err := r.Wait(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }

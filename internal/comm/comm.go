@@ -6,6 +6,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"a2sgd/internal/tensor"
 )
 
 // Transport moves float32 payloads between ranks. Implementations must allow
@@ -62,9 +64,16 @@ type Communicator struct {
 	msgsSent  atomic.Int64
 	msgsRecv  atomic.Int64
 
-	asyncMu      sync.Mutex
-	asyncQueue   []asyncJob
-	asyncRunning bool
+	// asyncMu guards the nonblocking machinery: the per-context request
+	// queues, the pooled-request freelist, the posting sequence counter and
+	// the context communicators built by SetConcurrency (ctx.go). Empty
+	// ctxComms/ctxQueues mean concurrency 1 (queues lazily sized on first
+	// post).
+	asyncMu   sync.Mutex
+	ctxComms  []*Communicator
+	ctxQueues []reqQueue
+	postSeq   uint64
+	freeReqs  *asyncReq
 
 	// scratch is the reusable reduction buffer of the blocking collectives
 	// (ring segments, recursive-doubling partner data, binomial reduce).
@@ -275,10 +284,7 @@ func (c *Communicator) AllreduceMean(v []float32, algo AllreduceAlgorithm) error
 	if err := c.AllreduceSum(v, algo); err != nil {
 		return err
 	}
-	inv := 1 / float32(c.Size())
-	for i := range v {
-		v[i] *= inv
-	}
+	tensor.Scale(v, 1/float32(c.Size()))
 	return nil
 }
 
@@ -303,9 +309,7 @@ func (c *Communicator) ringAllreduce(v []float32) error {
 		if err := c.sendRecv(next, tagRingRS+s, v[slo:shi], prev, tagRingRS+s, rb); err != nil {
 			return err
 		}
-		for i := range rb {
-			v[rlo+i] += rb[i]
-		}
+		addInto(v[rlo:rhi], rb)
 	}
 	// Phase 2: allgather. Rank r owns the fully reduced segment (r+1) mod p.
 	for s := 0; s < p-1; s++ {
@@ -377,10 +381,11 @@ func (c *Communicator) recDoublingAllreduce(v []float32) error {
 	return nil
 }
 
+// addInto is the collectives' reduction kernel: elementwise dst += src,
+// SIMD-dispatched through tensor.Add (bitwise identical to the scalar loop,
+// so reduction results do not depend on the build).
 func addInto(dst, src []float32) {
-	for i, s := range src {
-		dst[i] += s
-	}
+	tensor.Add(dst, src)
 }
 
 // Allgather concatenates each rank's equal-size contribution into out,
@@ -427,24 +432,59 @@ func (c *Communicator) flatAllgather(in, out []float32) error {
 // variable blocks. Returns the concatenation in rank order plus each rank's
 // length. This is the exchange primitive Gaussian-K sparsification uses
 // (its selected count varies per rank) and the one the paper's §4.4 credits
-// for Gaussian-K's iteration-time edge on fast networks.
+// for Gaussian-K's iteration-time edge on fast networks. Each call allocates
+// fresh result buffers; the hot paths use AllgatherVInto with a persistent
+// scratch instead.
 func (c *Communicator) AllgatherV(in []float32) (out []float32, lens []int, err error) {
+	var sc AllgatherVScratch
+	return c.AllgatherVInto(in, &sc)
+}
+
+// AllgatherVScratch holds the reusable buffers of one AllgatherVInto call
+// site: the length-exchange buffer, the decoded lengths/offsets and the
+// gathered payload. Zero value is ready; buffers grow to the high-water
+// mark and are then reused, so a steady-state exchange stays off the
+// allocator.
+type AllgatherVScratch struct {
+	lenBuf []float32
+	my     [1]float32
+	lens   []int
+	offs   []int
+	out    []float32
+}
+
+// growInts is growF32's []int twin for the scratch length/offset buffers.
+func growInts(buf *[]int, m int) []int {
+	if cap(*buf) < m {
+		*buf = make([]int, m)
+	}
+	*buf = (*buf)[:m]
+	return *buf
+}
+
+// AllgatherVInto is AllgatherV into caller-owned scratch: the returned
+// slices alias sc's buffers and are valid until the next call with the same
+// scratch. On a flat communicator the call is allocation-free in steady
+// state; with a two-level topology it delegates to the (allocating)
+// hierarchical schedule, so callers keep a single code path either way.
+func (c *Communicator) AllgatherVInto(in []float32, sc *AllgatherVScratch) (out []float32, lens []int, err error) {
 	if c.hier != nil && c.Size() > 1 {
 		return c.hierAllgatherV(in)
 	}
 	p, r := c.Size(), c.Rank()
-	lenBuf := make([]float32, p)
-	my := []float32{Float32FromIndex(uint32(len(in)))}
-	if err := c.Allgather(my, lenBuf); err != nil {
+	lenBuf := growF32Comm(&sc.lenBuf, p)
+	sc.my[0] = Float32FromIndex(uint32(len(in)))
+	if err := c.Allgather(sc.my[:], lenBuf); err != nil {
 		return nil, nil, err
 	}
-	lens = make([]int, p)
-	offs := make([]int, p+1)
+	lens = growInts(&sc.lens, p)
+	offs := growInts(&sc.offs, p+1)
+	offs[0] = 0
 	for i := 0; i < p; i++ {
 		lens[i] = int(Float32ToIndex(lenBuf[i]))
 		offs[i+1] = offs[i] + lens[i]
 	}
-	out = make([]float32, offs[p])
+	out = growF32Comm(&sc.out, offs[p])
 	copy(out[offs[r]:offs[r+1]], in)
 	if p == 1 {
 		return out, lens, nil
@@ -461,6 +501,16 @@ func (c *Communicator) AllgatherV(in []float32) (out []float32, lens []int, err 
 		}
 	}
 	return out, lens, nil
+}
+
+// growF32Comm is the comm-local cap-check-and-grow idiom (compress has its
+// own twin; the packages do not import each other's internals).
+func growF32Comm(buf *[]float32, m int) []float32 {
+	if cap(*buf) < m {
+		*buf = make([]float32, m)
+	}
+	*buf = (*buf)[:m]
+	return *buf
 }
 
 // Broadcast distributes root's v to every rank (binomial tree, ⌈log2 P⌉

@@ -16,17 +16,36 @@
 // against the Transport interface, so a run on either fabric performs the
 // same message sequence.
 //
-// # Nonblocking operations
+// # Nonblocking operations and concurrency modes
 //
-// Every Communicator owns a lazily-started progress worker (one goroutine,
-// mirroring an MPI progress thread) that executes posted operations strictly
-// in posting order: Async, IAllreduceMean, IAllreduceSum and IAllgather
-// return a Request whose Wait blocks until completion. Because operations
-// never run concurrently with each other, the floating-point reduction order
-// — and therefore the numerical result — is identical to issuing the same
-// operations synchronously; the training runtime exploits this to overlap
-// bucket i's collective with bucket i+1's gather+encode while staying
-// bitwise deterministic.
+// Every Communicator owns lazily-started progress workers (one goroutine per
+// tag-space context, mirroring MPI progress threads) that execute posted
+// operations: Post (a typed Op), Async (a legacy closure, pinned to context
+// 0), IAllreduceMean, IAllreduceSum and IAllgather return a Request whose
+// Wait blocks until completion. In the default Deterministic mode —
+// SetConcurrency(1) — a single worker runs operations strictly in posting
+// order, so the floating-point reduction order — and therefore the numerical
+// result — is identical to issuing the same operations synchronously; the
+// training runtime exploits this to overlap bucket i's collective with
+// bucket i+1's gather+encode while staying bitwise deterministic.
+// SetConcurrency(n>1) adds n-1 shadow communicators in disjoint tag-space
+// contexts (the top four tag bits): posted operations are distributed to
+// contexts round-robin by posting sequence — deterministically, so every
+// rank routes the k-th post to the same tag block — and operations in
+// different contexts proceed concurrently on the wire. Each collective's
+// arithmetic is unchanged (its operands and reduction order are private to
+// its context), so concurrent runs still reproduce the serial results
+// bitwise; only the wire interleaving differs.
+//
+// Contract: all ranks post the same operation sequence under the same
+// concurrency setting; no blocking collectives while posts are outstanding
+// (Wait first). Requests are pooled — posting draws from a freelist and the
+// first Wait recycles the request, so a Request belongs to one waiter and
+// its error is readable only until the communicator reuses the request for
+// a later post. A steady-state post/Wait cycle touches the allocator zero
+// times (see the AllocsPerRun tests). AllgatherVInto gathers through a
+// caller-owned AllgatherVScratch so concurrent sparse exchanges reuse their
+// buckets' buffers instead of contending on communicator-owned scratch.
 //
 // # Group communicators and two-level topologies
 //

@@ -29,9 +29,25 @@ type inprocMsg struct {
 type InprocFabric struct {
 	size  int
 	chans [][]chan inprocMsg // chans[src][dst]
+	match [][]pairMatch      // match[src][dst]: receive-side tag matcher
 	pool  sync.Pool          // *[]float32 transit buffers
 	done  chan struct{}
 	once  sync.Once
+}
+
+// pairMatch is the receive-side tag matcher for one ordered (src, dst) pair.
+// Concurrent collectives run in disjoint tag blocks but share the pair's
+// FIFO channel, so a receiver may pull a message destined for a different
+// in-flight operation. Matching follows the classic MPI stash-and-wake
+// shape: exactly one receiver at a time is the puller (drains the channel);
+// messages for other tags are stashed in arrival order and the cond wakes
+// the other receivers to re-scan. With a single outstanding operation — the
+// Deterministic mode — the stash stays empty and the pull is the only hop.
+type pairMatch struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	pulling bool
+	pending []inprocMsg // stashed out-of-tag messages, arrival order
 }
 
 // inprocDepth bounds in-flight messages per ordered pair. The collectives
@@ -47,10 +63,14 @@ func NewInprocFabric(size int) *InprocFabric {
 	f := &InprocFabric{size: size, done: make(chan struct{})}
 	f.pool.New = func() any { return new([]float32) }
 	f.chans = make([][]chan inprocMsg, size)
+	f.match = make([][]pairMatch, size)
 	for s := range f.chans {
 		f.chans[s] = make([]chan inprocMsg, size)
+		f.match[s] = make([]pairMatch, size)
 		for d := range f.chans[s] {
 			f.chans[s][d] = make(chan inprocMsg, inprocDepth)
+			pm := &f.match[s][d]
+			pm.cond.L = &pm.mu
 		}
 	}
 	return f
@@ -126,24 +146,62 @@ func (t *inprocTransport) Send(to, tag int, data []float32) error {
 	}
 }
 
+// deliver copies a matched message into the destination and recycles the
+// transit buffer.
+func (t *inprocTransport) deliver(from, tag int, m inprocMsg, data []float32) error {
+	defer t.f.pool.Put(m.buf)
+	if len(m.data) != len(data) {
+		return fmt.Errorf("comm: length mismatch recv(%d<-%d) tag %d: got %d want %d",
+			t.rank, from, tag, len(m.data), len(data))
+	}
+	copy(data, m.data)
+	return nil
+}
+
 func (t *inprocTransport) Recv(from, tag int, data []float32) error {
 	if from < 0 || from >= t.f.size {
 		return fmt.Errorf("comm: recv from invalid rank %d", from)
 	}
-	select {
-	case m := <-t.f.chans[from][t.rank]:
-		defer t.f.pool.Put(m.buf)
-		if m.tag != tag {
-			return fmt.Errorf("comm: tag mismatch recv(%d<-%d): got %d want %d", t.rank, from, m.tag, tag)
+	pm := &t.f.match[from][t.rank]
+	pm.mu.Lock()
+	for {
+		// First satisfy from the stash (arrival order ⇒ per-tag FIFO).
+		for i := range pm.pending {
+			if pm.pending[i].tag == tag {
+				m := pm.pending[i]
+				pm.pending = append(pm.pending[:i], pm.pending[i+1:]...)
+				pm.mu.Unlock()
+				return t.deliver(from, tag, m, data)
+			}
 		}
-		if len(m.data) != len(data) {
-			return fmt.Errorf("comm: length mismatch recv(%d<-%d) tag %d: got %d want %d",
-				t.rank, from, tag, len(m.data), len(data))
+		if pm.pulling {
+			// Someone else is draining the channel; they will stash or
+			// take what arrives and wake us to re-scan.
+			pm.cond.Wait()
+			continue
 		}
-		copy(data, m.data)
-		return nil
-	case <-t.f.done:
-		return ErrFabricClosed
+		pm.pulling = true
+		pm.mu.Unlock()
+		select {
+		case m := <-t.f.chans[from][t.rank]:
+			pm.mu.Lock()
+			pm.pulling = false
+			if m.tag == tag {
+				pm.cond.Broadcast()
+				pm.mu.Unlock()
+				return t.deliver(from, tag, m, data)
+			}
+			pm.pending = append(pm.pending, m)
+			pm.cond.Broadcast()
+			// Loop: re-scan the stash (a racing receiver may have stashed
+			// our tag while we pulled) or become the puller again.
+		case <-t.f.done:
+			pm.mu.Lock()
+			pm.pulling = false
+			pm.cond.Broadcast()
+			pm.mu.Unlock()
+			return ErrFabricClosed
+		}
 	}
 }
 

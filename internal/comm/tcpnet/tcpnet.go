@@ -32,6 +32,14 @@ import (
 
 // peerState is the per-peer wire machinery: one lock per direction plus the
 // reusable framing buffers of the zero-allocation hot path.
+//
+// The read side is a tag matcher: concurrent collectives run in disjoint tag
+// blocks but share the peer's byte stream, so the receiver that drains the
+// next frame (the puller — rhdr/rwire are exclusively its scratch) may find
+// a frame for a different in-flight operation. Such frames are stashed in
+// pooled buffers in arrival order and rcond wakes the other receivers to
+// re-scan. In Deterministic mode only one operation is outstanding, the
+// stash stays empty and the pull is the only hop.
 type peerState struct {
 	wmu    sync.Mutex  // write lock
 	hdr    [8]byte     // outgoing frame header scratch
@@ -39,9 +47,22 @@ type peerState struct {
 	iovArr [2][]byte   // backing storage iov is rebuilt from each Send
 	wire   []byte      // fallback: staged little-endian payload
 
-	rmu   sync.Mutex // read lock
-	rhdr  [8]byte    // incoming frame header scratch
-	rwire []byte     // fallback: staged receive buffer, sized by the header
+	rmu     sync.Mutex  // guards the matcher state below
+	rcond   sync.Cond   // wakes waiting receivers after a stash/err/puller exit
+	pulling bool        // a receiver is draining the stream
+	rerr    error       // sticky stream error; fails all subsequent Recvs
+	pend    []pendFrame // stashed out-of-tag frames, arrival order
+	rhdr    [8]byte     // incoming frame header scratch (puller-owned)
+	rwire   []byte      // fallback: staged receive buffer (puller-owned)
+}
+
+// pendFrame is one stashed frame: data is a view of *buf, a transit buffer
+// drawn from the transport pool and recycled when the matching Recv copies
+// it out.
+type pendFrame struct {
+	tag  int
+	data []float32
+	buf  *[]float32
 }
 
 // Transport is a TCP-backed comm.Transport endpoint.
@@ -53,6 +74,7 @@ type Transport struct {
 	conns []net.Conn
 	peers []peerState
 	rbuf  []*bufio.Reader
+	rpool sync.Pool // *[]float32 transit buffers for stashed frames
 }
 
 var _ comm.Transport = (*Transport)(nil)
@@ -96,6 +118,11 @@ func NewLocalMesh(size int) ([]*Transport, func(), error) {
 			conns: make([]net.Conn, size),
 			peers: make([]peerState, size),
 			rbuf:  make([]*bufio.Reader, size),
+		}
+		ts[r].rpool.New = func() any { return new([]float32) }
+		for p := range ts[r].peers {
+			ps := &ts[r].peers[p]
+			ps.rcond.L = &ps.rmu
 		}
 	}
 	addrs := make([]string, size)
@@ -233,10 +260,30 @@ func (t *Transport) Send(to, tag int, data []float32) error {
 	return nil
 }
 
-// Recv implements comm.Transport. The frame header is validated against the
-// caller's expectation, then the payload is read from the socket straight
-// into the destination buffer's memory on zero-copy builds; the fallback
-// stages through a per-peer receive buffer sized by the frame header.
+// readPayload reads one n-element frame payload from the socket into dst:
+// straight into dst's memory on zero-copy builds, staged through the peer's
+// receive buffer otherwise. Caller must be the puller.
+func (t *Transport) readPayload(r *bufio.Reader, ps *peerState, dst []float32) error {
+	if tensor.BitsZeroCopy() {
+		_, err := readFull(r, tensor.F32LEBytes(dst))
+		return err
+	}
+	if cap(ps.rwire) < 4*len(dst) {
+		ps.rwire = make([]byte, 4*len(dst))
+	}
+	buf := ps.rwire[:4*len(dst)]
+	if _, err := readFull(r, buf); err != nil {
+		return err
+	}
+	tensor.GetF32LE(dst, buf)
+	return nil
+}
+
+// Recv implements comm.Transport. Frames arriving for the expected tag are
+// read from the socket straight into the destination buffer's memory on
+// zero-copy builds (staged through a per-peer receive buffer otherwise);
+// frames for other in-flight tags are stashed in pooled transit buffers
+// until their receiver claims them.
 func (t *Transport) Recv(from, tag int, data []float32) error {
 	_, r, err := t.conn(from)
 	if err != nil {
@@ -244,33 +291,89 @@ func (t *Transport) Recv(from, tag int, data []float32) error {
 	}
 	ps := &t.peers[from]
 	ps.rmu.Lock()
-	defer ps.rmu.Unlock()
-	if _, err := readFull(r, ps.rhdr[:]); err != nil {
-		return fmt.Errorf("tcpnet: recv from %d: %w", from, err)
-	}
-	gotTag := int(binary.LittleEndian.Uint32(ps.rhdr[0:]))
-	n := int(binary.LittleEndian.Uint32(ps.rhdr[4:]))
-	if gotTag != tag {
-		return fmt.Errorf("tcpnet: tag mismatch from %d: got %d want %d", from, gotTag, tag)
-	}
-	if n != len(data) {
-		return fmt.Errorf("tcpnet: length mismatch from %d tag %d: got %d want %d", from, tag, n, len(data))
-	}
-	if tensor.BitsZeroCopy() {
-		if _, err := readFull(r, tensor.F32LEBytes(data)); err != nil {
-			return fmt.Errorf("tcpnet: recv payload from %d: %w", from, err)
+	for {
+		// First satisfy from the stash (arrival order ⇒ per-tag FIFO).
+		for i := range ps.pend {
+			if ps.pend[i].tag == tag {
+				m := ps.pend[i]
+				ps.pend = append(ps.pend[:i], ps.pend[i+1:]...)
+				ps.rmu.Unlock()
+				defer t.rpool.Put(m.buf)
+				if len(m.data) != len(data) {
+					return fmt.Errorf("tcpnet: length mismatch from %d tag %d: got %d want %d",
+						from, tag, len(m.data), len(data))
+				}
+				copy(data, m.data)
+				return nil
+			}
 		}
-		return nil
+		if ps.rerr != nil {
+			err := ps.rerr
+			ps.rmu.Unlock()
+			return err
+		}
+		if ps.pulling {
+			// Another receiver is draining the stream; it will stash or
+			// take the next frame and wake us to re-scan.
+			ps.rcond.Wait()
+			continue
+		}
+		ps.pulling = true
+		ps.rmu.Unlock()
+
+		if _, err := readFull(r, ps.rhdr[:]); err != nil {
+			// A dead stream fails every receiver on this peer, now and later.
+			err = fmt.Errorf("tcpnet: recv from %d: %w", from, err)
+			ps.rmu.Lock()
+			ps.pulling = false
+			ps.rerr = err
+			ps.rcond.Broadcast()
+			ps.rmu.Unlock()
+			return err
+		}
+		gotTag := int(binary.LittleEndian.Uint32(ps.rhdr[0:]))
+		n := int(binary.LittleEndian.Uint32(ps.rhdr[4:]))
+		if gotTag == tag {
+			if n != len(data) {
+				ps.rmu.Lock()
+				ps.pulling = false
+				ps.rcond.Broadcast()
+				ps.rmu.Unlock()
+				return fmt.Errorf("tcpnet: length mismatch from %d tag %d: got %d want %d", from, tag, n, len(data))
+			}
+			err := t.readPayload(r, ps, data)
+			ps.rmu.Lock()
+			ps.pulling = false
+			if err != nil {
+				err = fmt.Errorf("tcpnet: recv payload from %d: %w", from, err)
+				ps.rerr = err
+			}
+			ps.rcond.Broadcast()
+			ps.rmu.Unlock()
+			return err
+		}
+		// Out-of-tag frame: stash it in a pooled transit buffer.
+		bp := t.rpool.Get().(*[]float32)
+		if cap(*bp) < n {
+			*bp = make([]float32, n)
+		}
+		stash := (*bp)[:n]
+		if err := t.readPayload(r, ps, stash); err != nil {
+			t.rpool.Put(bp)
+			err = fmt.Errorf("tcpnet: recv payload from %d: %w", from, err)
+			ps.rmu.Lock()
+			ps.pulling = false
+			ps.rerr = err
+			ps.rcond.Broadcast()
+			ps.rmu.Unlock()
+			return err
+		}
+		ps.rmu.Lock()
+		ps.pulling = false
+		ps.pend = append(ps.pend, pendFrame{tag: gotTag, data: stash, buf: bp})
+		ps.rcond.Broadcast()
+		// Loop: re-scan the stash or become the puller again.
 	}
-	if cap(ps.rwire) < 4*n {
-		ps.rwire = make([]byte, 4*n)
-	}
-	buf := ps.rwire[:4*n]
-	if _, err := readFull(r, buf); err != nil {
-		return fmt.Errorf("tcpnet: recv payload from %d: %w", from, err)
-	}
-	tensor.GetF32LE(data, buf)
-	return nil
 }
 
 // Close shuts the listener and all peer connections; pending Recvs fail.

@@ -420,7 +420,8 @@ func TestSparseExchangeIgnoresCorruptIndices(t *testing.T) {
 	p := Payload{Data: []float32{comm.Float32FromIndex(1 << 30), 1.5}}
 	g := make([]float32, 4)
 	err := comm.RunGroup(1, func(c *comm.Communicator) error {
-		return sparseExchange(p, g, c)
+		var sc comm.AllgatherVScratch
+		return sparseExchange(p, g, c, &sc)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -62,7 +62,7 @@ func (d *DGC) Encode(g []float32) Payload {
 
 // Exchange implements Algorithm via the sparse allgather.
 func (d *DGC) Exchange(p Payload, g []float32, c *comm.Communicator) error {
-	return sparseExchange(p, g, c)
+	return sparseExchange(p, g, c, &d.sc.agv)
 }
 
 // ExchangeKind implements Algorithm.

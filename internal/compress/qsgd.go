@@ -29,13 +29,16 @@ type QSGD struct {
 	// Reusable scratch (zero-allocation steady state): the packed word
 	// buffer and the bit-cast payload of the current Encode, the word view
 	// of the stream being decoded, the allgathered streams and the decoded
-	// chunk of Exchange. The Encode payload aliases data — valid until the
-	// next Encode on this instance.
+	// chunk of Exchange, plus per-block field and stochastic-rounding
+	// buffers for the quantization kernel. The Encode payload aliases the
+	// packed words — valid until the next Encode on this instance.
 	words       []uint32
 	data        []float32
 	decodeWords []uint32
 	gatherBuf   []float32
 	decodeBuf   []float32
+	fields      []uint32
+	rnd         []float64
 }
 
 // NewQSGD builds a QSGD quantizer from the options (levels = QuantLevels).
@@ -85,6 +88,47 @@ func growF32(buf *[]float32, m int) []float32 {
 	return *buf
 }
 
+// growF64 completes the family for the stochastic-rounding variate buffer.
+func growF64(buf *[]float64, m int) []float64 {
+	if cap(*buf) < m {
+		*buf = make([]float64, m)
+	}
+	*buf = (*buf)[:m]
+	return *buf
+}
+
+// quantBlock is the block size for the quantize+pack loop: one block of
+// fields and variates stays cache-resident, and 4096 fields at any bit
+// width end exactly on a word boundary so blocks pack independently.
+const quantBlock = 4096
+
+// wordsPayload publishes packed words as a float32 collective payload.
+// On builds with zero-copy word views the payload aliases words directly;
+// otherwise it is converted into *data (instance scratch).
+func wordsPayload(words []uint32, data *[]float32) []float32 {
+	if tensor.WordsZeroCopy() {
+		return tensor.F32FromU32(words)
+	}
+	out := growF32(data, len(words))
+	for i, w := range words {
+		out[i] = math.Float32frombits(w)
+	}
+	return out
+}
+
+// payloadWords is the inverse: a uint32 view of a received stream, copied
+// through *scratch only on builds without zero-copy views.
+func payloadWords(data []float32, scratch *[]uint32) []uint32 {
+	if tensor.WordsZeroCopy() {
+		return tensor.U32FromF32(data)
+	}
+	words := growU32(scratch, len(data))
+	for i, f := range data {
+		words[i] = math.Float32bits(f)
+	}
+	return words
+}
+
 // Encode quantizes g into the packed stream. Format, bit-cast into the
 // float32 payload: word 0 = ‖g‖₂ (float), words 1.. = packed fields, LSB
 // first within each word: [sign:1][level:bitsPer-1] per element. The
@@ -96,47 +140,27 @@ func (q *QSGD) Encode(g []float32) Payload {
 	clear(words)
 	words[0] = math.Float32bits(norm)
 	if norm > 0 {
+		// Stochastic rounding through the shared kernel (SIMD on amd64):
+		// scaled = |x|/norm * s, level is floor(scaled) promoted with
+		// probability frac(scaled). Blocked so fields and variates stay
+		// cache-resident; the variates are pre-generated per block, which
+		// consumes the RNG in exactly the scalar order.
 		bitPos := uint64(0)
-		for _, x := range g {
-			sign := uint32(0)
-			a := x
-			if a < 0 {
-				sign = 1
-				a = -a
-			}
-			// Stochastic rounding: scaled = |x|/norm * s, level is
-			// floor(scaled) promoted with probability frac(scaled).
-			scaled := float64(a) / float64(norm) * float64(q.s)
-			level := uint32(scaled)
-			if q.rng.Float64() < scaled-float64(level) {
-				level++
-			}
-			if level > uint32(q.s) {
-				level = uint32(q.s)
-			}
-			field := sign | level<<1
-			w := 1 + bitPos/32
-			off := uint(bitPos % 32)
-			words[w] |= field << off
-			if off+uint(q.bitsPer) > 32 {
-				words[w+1] |= field >> (32 - off)
-			}
-			bitPos += uint64(q.bitsPer)
+		for lo := 0; lo < n; lo += quantBlock {
+			blk := g[lo:min(lo+quantBlock, n)]
+			rnd := growF64(&q.rnd, len(blk))
+			q.rng.Float64Vec(rnd)
+			fields := growU32(&q.fields, len(blk))
+			tensor.QuantizeFields(fields, blk, rnd, norm, q.s)
+			bitPos = tensor.PackFields(words[1:], fields, q.bitsPer, bitPos)
 		}
 	}
-	data := growF32(&q.data, len(words))
-	for i, w := range words {
-		data[i] = math.Float32frombits(w)
-	}
-	return Payload{Data: data, Bits: int64(n)*int64(q.bitsPer) + 32}
+	return Payload{Data: wordsPayload(words, &q.data), Bits: int64(n)*int64(q.bitsPer) + 32}
 }
 
 // Decode expands one packed stream into dst (adding is done by the caller).
 func (q *QSGD) Decode(data []float32, dst []float32) {
-	words := growU32(&q.decodeWords, len(data))
-	for i, f := range data {
-		words[i] = math.Float32bits(f)
-	}
+	words := payloadWords(data, &q.decodeWords)
 	norm := math.Float32frombits(words[0])
 	if norm == 0 {
 		tensor.Zero(dst)
@@ -204,12 +228,15 @@ func (q *QSGD) Reset() {}
 type TernGrad struct {
 	rng *tensor.RNG
 	// Reusable scratch: packed words + bit-cast payload of the current
-	// Encode (the payload aliases data — valid until the next Encode), the
-	// allgathered streams and the decoded chunk of Exchange.
+	// Encode (the payload aliases the words — valid until the next
+	// Encode), the allgathered streams and the decoded chunk of Exchange,
+	// and per-block kernel buffers.
 	words     []uint32
 	data      []float32
 	gatherBuf []float32
 	buf       []float32
+	fields    []uint32
+	rnd       []float64
 }
 
 // NewTernGrad builds a TernGrad quantizer.
@@ -231,25 +258,20 @@ func (t *TernGrad) Encode(g []float32) Payload {
 	clear(words)
 	words[0] = math.Float32bits(scale)
 	if scale > 0 {
-		for i, x := range g {
-			a, sign := x, uint32(0)
-			if a < 0 {
-				a, sign = -a, 1
-			}
-			nz := uint32(0)
-			if t.rng.Float64() < float64(a)/float64(scale) {
-				nz = 1
-			}
-			field := sign | nz<<1
-			bit := uint(2*i) % 32
-			words[1+2*i/32] |= field << bit
+		// TernGrad is the levels=1 corner of the stochastic level
+		// quantization family: level ∈ {0,1} with P(1) = |x|/scale, so it
+		// shares the QSGD kernel (SIMD on amd64) and block structure.
+		bitPos := uint64(0)
+		for lo := 0; lo < n; lo += quantBlock {
+			blk := g[lo:min(lo+quantBlock, n)]
+			rnd := growF64(&t.rnd, len(blk))
+			t.rng.Float64Vec(rnd)
+			fields := growU32(&t.fields, len(blk))
+			tensor.QuantizeFields(fields, blk, rnd, scale, 1)
+			bitPos = tensor.PackFields(words[1:], fields, 2, bitPos)
 		}
 	}
-	data := growF32(&t.data, len(words))
-	for i, w := range words {
-		data[i] = math.Float32frombits(w)
-	}
-	return Payload{Bits: int64(2*n) + 32, Data: data}
+	return Payload{Bits: int64(2*n) + 32, Data: wordsPayload(words, &t.data)}
 }
 
 // Exchange allgathers and averages the ternary streams.

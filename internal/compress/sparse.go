@@ -14,10 +14,11 @@ import (
 // which is why a sparse Payload is only valid until the next Encode on the
 // same instance (see the Payload contract in compress.go).
 type sparseScratch struct {
-	heap []int32   // top-k index heap, sized to the bucket length
-	idx  []int32   // selected indices of the current Encode
-	val  []float32 // selected values of the current Encode
-	data []float32 // packed interleaved payload of the current Encode
+	heap []int32                // top-k index heap, sized to the bucket length
+	idx  []int32                // selected indices of the current Encode
+	val  []float32              // selected values of the current Encode
+	data []float32              // packed interleaved payload of the current Encode
+	agv  comm.AllgatherVScratch // allgatherv buffers of the Exchange side
 }
 
 // newSparseScratch pre-sizes the selection buffers so even the first Encode
@@ -128,8 +129,8 @@ func topKIndices(v []float32, k int) []int32 {
 // reconstructs the worker-averaged dense gradient in g. This is the
 // Allgather exchange path the paper credits for Gaussian-K's iteration-time
 // advantage on fast networks (§4.4).
-func sparseExchange(p Payload, g []float32, c *comm.Communicator) error {
-	all, _, err := c.AllgatherV(p.Data)
+func sparseExchange(p Payload, g []float32, c *comm.Communicator, sc *comm.AllgatherVScratch) error {
+	all, _, err := c.AllgatherVInto(p.Data, sc)
 	if err != nil {
 		return err
 	}
@@ -216,7 +217,7 @@ func (t *TopK) Encode(g []float32) Payload {
 
 // Exchange implements Algorithm via the sparse allgather.
 func (t *TopK) Exchange(p Payload, g []float32, c *comm.Communicator) error {
-	return sparseExchange(p, g, c)
+	return sparseExchange(p, g, c, &t.sc.agv)
 }
 
 // ExchangeKind implements Algorithm.
@@ -295,7 +296,7 @@ func (gk *GaussianK) Encode(g []float32) Payload {
 
 // Exchange implements Algorithm via the sparse allgather.
 func (gk *GaussianK) Exchange(p Payload, g []float32, c *comm.Communicator) error {
-	return sparseExchange(p, g, c)
+	return sparseExchange(p, g, c, &gk.sc.agv)
 }
 
 // ExchangeKind implements Algorithm.
@@ -357,7 +358,7 @@ func (r *RandK) Encode(g []float32) Payload {
 
 // Exchange implements Algorithm via the sparse allgather.
 func (r *RandK) Exchange(p Payload, g []float32, c *comm.Communicator) error {
-	return sparseExchange(p, g, c)
+	return sparseExchange(p, g, c, &r.sc.agv)
 }
 
 // ExchangeKind implements Algorithm.

@@ -59,6 +59,12 @@ type Model interface {
 	// Step runs forward+backward on the batch, accumulating gradients
 	// (after ZeroGrads), and returns the batch loss.
 	Step(b Batch) float64
+	// StepInterleaved is Step with gradient-readiness reporting: onReady(lo)
+	// is invoked during the backward pass whenever the flattened gradient
+	// elements [lo, NumParams()) have become final, with strictly decreasing
+	// offsets and a guaranteed final onReady(0). Models whose backward
+	// finalizes everything at once (truncated BPTT) report only onReady(0).
+	StepInterleaved(b Batch, onReady func(lo int)) float64
 	// Eval runs forward only and returns (loss, metric).
 	Eval(b Batch) (loss float64, metric float64)
 	// Metric reports how metric values should be interpreted.
@@ -71,6 +77,14 @@ type Model interface {
 	// GatherGradsRange fills dst[lo:hi] with that slice of the flattened
 	// gradient — the per-bucket gather of the overlapped pipeline.
 	GatherGradsRange(dst []float32, lo, hi int)
+	// ScatterGradsRange writes src[lo:hi] back into the layers — the
+	// per-bucket inverse of GatherGradsRange.
+	ScatterGradsRange(src []float32, lo, hi int)
+	// GradSlice returns the live gradient storage backing the flattened
+	// elements [lo, hi) when they fall inside one parameter tensor, or nil
+	// when the range spans tensors. Non-nil lets a bucket be encoded and
+	// reconstructed in place, with no gather or scatter copy.
+	GradSlice(lo, hi int) []float32
 	// ParamSegments reports the per-tensor boundaries of the flattened
 	// vector, in GatherGrads order, for layer-granular bucket planning.
 	ParamSegments() []nn.Segment
@@ -100,6 +114,13 @@ func (c *classifier) Step(b Batch) float64 {
 	return loss
 }
 
+func (c *classifier) StepInterleaved(b Batch, onReady func(lo int)) float64 {
+	logits := c.net.Forward(b.X, true)
+	loss, dlogits := nn.SoftmaxCE(logits, b.Labels)
+	c.net.BackwardInterleaved(dlogits, onReady)
+	return loss
+}
+
 func (c *classifier) Eval(b Batch) (float64, float64) {
 	logits := c.net.Forward(b.X, false)
 	loss, _ := nn.SoftmaxCE(logits, b.Labels)
@@ -111,9 +132,13 @@ func (c *classifier) ScatterGrads(src []float32) { c.net.ScatterGrads(src) }
 func (c *classifier) GatherGradsRange(dst []float32, lo, hi int) {
 	c.net.GatherGradsRange(dst, lo, hi)
 }
-func (c *classifier) ParamSegments() []nn.Segment { return c.net.ParamSegments() }
-func (c *classifier) GatherParams(dst []float32)  { c.net.GatherParams(dst) }
-func (c *classifier) ScatterParams(src []float32) { c.net.ScatterParams(src) }
+func (c *classifier) ScatterGradsRange(src []float32, lo, hi int) {
+	c.net.ScatterGradsRange(src, lo, hi)
+}
+func (c *classifier) GradSlice(lo, hi int) []float32 { return c.net.GradSlice(lo, hi) }
+func (c *classifier) ParamSegments() []nn.Segment    { return c.net.ParamSegments() }
+func (c *classifier) GatherParams(dst []float32)     { c.net.GatherParams(dst) }
+func (c *classifier) ScatterParams(src []float32)    { c.net.ScatterParams(src) }
 
 // Config selects a model family and scale.
 type Config struct {
@@ -328,6 +353,15 @@ func (l *lstmModel) Step(b Batch) float64 {
 	return ce
 }
 
+// StepInterleaved reports only the final onReady(0): truncated BPTT
+// accumulates every parameter's gradient across all timesteps, so no
+// gradient is final until the whole backward completes.
+func (l *lstmModel) StepInterleaved(b Batch, onReady func(lo int)) float64 {
+	ce := l.Step(b)
+	onReady(0)
+	return ce
+}
+
 func (l *lstmModel) Eval(b Batch) (float64, float64) {
 	ce := l.lm.Forward(b.Tokens, false)
 	return ce, nn.Perplexity(ce)
@@ -357,6 +391,14 @@ func (l *lstmModel) ScatterGrads(src []float32) {
 
 func (l *lstmModel) GatherGradsRange(dst []float32, lo, hi int) {
 	nn.GatherRange(l.lm.Params(), dst, lo, hi)
+}
+
+func (l *lstmModel) ScatterGradsRange(src []float32, lo, hi int) {
+	nn.ScatterRange(l.lm.Params(), src, lo, hi)
+}
+
+func (l *lstmModel) GradSlice(lo, hi int) []float32 {
+	return nn.GradSliceOf(l.lm.Params(), lo, hi)
 }
 
 func (l *lstmModel) ParamSegments() []nn.Segment { return nn.SegmentsOf(l.lm.Params()) }

@@ -35,10 +35,35 @@ type Layer interface {
 // views the distributed runtime needs.
 type Network struct {
 	Layers []Layer
+
+	// Flattened views, built on first use and cached — the training step
+	// calls Params/GatherGrads/ScatterGrads every iteration, and rebuilding
+	// the slice each time is an avoidable steady-state allocation. Layers
+	// must not be mutated after the first flattened-view call.
+	params   []Param
+	layerOff []int // flattened start offset of each layer's params
+	nParams  int
 }
 
 // NewNetwork builds a sequential network.
 func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// buildCache flattens the layer parameters once.
+func (n *Network) buildCache() {
+	n.layerOff = make([]int, len(n.Layers))
+	ps := make([]Param, 0, len(n.Layers))
+	off := 0
+	for i, l := range n.Layers {
+		n.layerOff[i] = off
+		lp := l.Params()
+		ps = append(ps, lp...)
+		for _, p := range lp {
+			off += len(p.W)
+		}
+	}
+	n.params = ps
+	n.nParams = off
+}
 
 // Forward runs all layers in order.
 func (n *Network) Forward(x *tensor.Mat, train bool) *tensor.Mat {
@@ -56,22 +81,21 @@ func (n *Network) Backward(dout *tensor.Mat) *tensor.Mat {
 	return dout
 }
 
-// Params returns every learnable tensor in layer order.
+// Params returns every learnable tensor in layer order. The slice is cached;
+// callers must not modify it.
 func (n *Network) Params() []Param {
-	var ps []Param
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		n.buildCache()
 	}
-	return ps
+	return n.params
 }
 
 // NumParams returns the total learnable parameter count.
 func (n *Network) NumParams() int {
-	total := 0
-	for _, p := range n.Params() {
-		total += len(p.W)
+	if n.params == nil {
+		n.buildCache()
 	}
-	return total
+	return n.nParams
 }
 
 // ZeroGrads clears every gradient accumulator.
@@ -118,6 +142,61 @@ func GatherRange(ps []Param, dst []float32, lo, hi int) {
 	}
 }
 
+// BackwardInterleaved is Backward with gradient-readiness reporting: after
+// layer i's backward completes, the flattened gradient elements
+// [off_i, NumParams()) are final — no earlier layer's backward touches them —
+// and onReady(off_i) is invoked. onReady is called with strictly decreasing
+// offsets (layers without parameters report nothing new and are skipped) and
+// a final onReady(0) is guaranteed, so a caller that launches the bucket
+// exchange for each newly final range sees every gradient element become
+// ready exactly once, deepest layers first, while shallower layers are still
+// back-propagating.
+func (n *Network) BackwardInterleaved(dout *tensor.Mat, onReady func(lo int)) *tensor.Mat {
+	if n.params == nil {
+		n.buildCache()
+	}
+	last := n.nParams
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dout = n.Layers[i].Backward(dout)
+		if off := n.layerOff[i]; off < last {
+			last = off
+			onReady(off)
+		}
+	}
+	if last != 0 {
+		onReady(0)
+	}
+	return dout
+}
+
+// GradSlice returns the live gradient storage backing the flattened elements
+// [lo, hi) when the range falls inside a single parameter tensor, or nil when
+// it spans tensors. A non-nil slice lets the bucketed pipeline encode and
+// reconstruct such a bucket in place, skipping both the gather copy and the
+// scatter copy.
+func (n *Network) GradSlice(lo, hi int) []float32 {
+	return GradSliceOf(n.Params(), lo, hi)
+}
+
+// GradSliceOf is the standalone form of GradSlice over a parameter list.
+func GradSliceOf(ps []Param, lo, hi int) []float32 {
+	if lo < 0 || hi < lo {
+		return nil
+	}
+	off := 0
+	for _, p := range ps {
+		end := off + len(p.G)
+		if lo >= off && hi <= end {
+			return p.G[lo-off : hi-off]
+		}
+		if end > lo {
+			return nil // the range starts inside p but spills past it
+		}
+		off = end
+	}
+	return nil
+}
+
 // ScatterGrads writes the flattened gradient vector back into the layers.
 func (n *Network) ScatterGrads(src []float32) {
 	off := 0
@@ -127,6 +206,31 @@ func (n *Network) ScatterGrads(src []float32) {
 	}
 	if off != len(src) {
 		panic(fmt.Sprintf("nn: ScatterGrads length %d != %d", len(src), off))
+	}
+}
+
+// ScatterGradsRange writes the flattened-gradient elements [lo, hi) of
+// src[lo:hi] back into the layers — the per-bucket inverse of
+// GatherGradsRange, which lets the pipeline skip re-scattering buckets that
+// were exchanged in place.
+func (n *Network) ScatterGradsRange(src []float32, lo, hi int) {
+	ScatterRange(n.Params(), src, lo, hi)
+}
+
+// ScatterRange copies src[lo:hi] into the gradient slices of a parameter
+// list at the flattened offsets [lo, hi) — the inverse of GatherRange.
+func ScatterRange(ps []Param, src []float32, lo, hi int) {
+	off := 0
+	for _, p := range ps {
+		if off >= hi {
+			return
+		}
+		end := off + len(p.G)
+		if end > lo {
+			s, e := max(off, lo), min(end, hi)
+			copy(p.G[s-off:e-off], src[s:e])
+		}
+		off = end
 	}
 }
 

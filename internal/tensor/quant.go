@@ -1,0 +1,80 @@
+package tensor
+
+import "math"
+
+// Stochastic level quantization and bit packing — the shared inner loops of
+// the QSGD and TernGrad encoders. Split out of the compress package so the
+// amd64 build can dispatch the quantization loop to the SSE2 kernel in
+// simd_amd64.s (with the scalar loop below as the portable fallback and
+// odd-tail cleanup). TernGrad is the levels=1 corner of the same family.
+
+// QuantizeFields computes, for every element of g, the packed field
+//
+//	signbit(g[i]) | level<<1
+//
+// where level is |g[i]|/norm*levels stochastically rounded: floor, promoted
+// by one with probability equal to the fractional part (promote when
+// rnd[i] < frac), clamped to levels. All arithmetic is float64, matching the
+// Alistarh et al. scheme: scaled = float64(|x|)/float64(norm)*float64(levels).
+// rnd must hold one uniform [0,1) variate per element (see RNG.Float64Vec);
+// consuming pre-generated variates keeps the RNG sequence identical between
+// the vector and scalar paths. norm must be > 0 and g free of NaN/Inf.
+// len(fields) and len(rnd) must be >= len(g).
+func QuantizeFields(fields []uint32, g []float32, rnd []float64, norm float32, levels int) {
+	_ = fields[:len(g)]
+	_ = rnd[:len(g)]
+	done := quantFieldsArch(fields, g, rnd, norm, levels)
+	quantFieldsScalar(fields[done:], g[done:], rnd[done:], norm, levels)
+}
+
+func quantFieldsScalar(fields []uint32, g []float32, rnd []float64, norm float32, levels int) {
+	nf := float64(norm)
+	sf := float64(levels)
+	smax := uint32(levels)
+	for i, x := range g {
+		sign := math.Float32bits(x) >> 31
+		scaled := math.Abs(float64(x)) / nf * sf
+		level := uint32(scaled)
+		if rnd[i] < scaled-float64(level) {
+			level++
+		}
+		if level > smax {
+			level = smax
+		}
+		fields[i] = sign | level<<1
+	}
+}
+
+// PackFields ORs bitsPer-wide fields into words LSB-first starting at bit
+// offset bitPos, and returns the advanced offset. words must be zeroed (or
+// already partially packed below bitPos) by the caller. When bitsPer divides
+// 32 — the common case: 4-bit QSGD fields at the paper's s=4, 2-bit TernGrad
+// fields — fields never straddle a word boundary and the spill branch is
+// dropped from the inner loop.
+func PackFields(words []uint32, fields []uint32, bitsPer uint, bitPos uint64) uint64 {
+	w := int(bitPos / 32)
+	off := uint(bitPos % 32)
+	if 32%bitsPer == 0 {
+		for _, f := range fields {
+			words[w] |= f << off
+			off += bitsPer
+			if off == 32 {
+				off = 0
+				w++
+			}
+		}
+	} else {
+		for _, f := range fields {
+			words[w] |= f << off
+			if off+bitsPer > 32 {
+				words[w+1] |= f >> (32 - off)
+			}
+			off += bitsPer
+			if off >= 32 {
+				off -= 32
+				w++
+			}
+		}
+	}
+	return bitPos + uint64(len(fields))*uint64(bitsPer)
+}

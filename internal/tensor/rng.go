@@ -73,6 +73,17 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
+// Float64Vec fills dst with iid U[0,1) samples, consuming exactly
+// len(dst) generator draws in sequence — element i equals what the i-th
+// Float64 call would have returned. The quantization kernels pre-generate
+// their stochastic-rounding variates through this so the vectorized path
+// preserves the scalar RNG sequence.
+func (r *RNG) Float64Vec(dst []float64) {
+	for i := range dst {
+		dst[i] = float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+	}
+}
+
 // Norm returns a standard normal variate (Box–Muller, cached pair).
 func (r *RNG) Norm() float32 {
 	// Marsaglia polar method without caching keeps the struct small; the

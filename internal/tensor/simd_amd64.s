@@ -1,0 +1,341 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// SSE2 kernels for the float32 hot loops. See simd_amd64.go for the
+// bitwise-identity contract with the scalar fallbacks.
+
+// func addKernel(dst, src *float32, n int)
+// dst[i] += src[i]
+TEXT ·addKernel(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+add16:
+	CMPQ CX, $16
+	JLT  add4
+	MOVUPS (DI), X0
+	MOVUPS 16(DI), X1
+	MOVUPS 32(DI), X2
+	MOVUPS 48(DI), X3
+	MOVUPS (SI), X4
+	MOVUPS 16(SI), X5
+	MOVUPS 32(SI), X6
+	MOVUPS 48(SI), X7
+	ADDPS  X4, X0
+	ADDPS  X5, X1
+	ADDPS  X6, X2
+	ADDPS  X7, X3
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	MOVUPS X2, 32(DI)
+	MOVUPS X3, 48(DI)
+	ADDQ   $64, DI
+	ADDQ   $64, SI
+	SUBQ   $16, CX
+	JMP    add16
+
+add4:
+	CMPQ CX, $4
+	JLT  add1
+	MOVUPS (DI), X0
+	MOVUPS (SI), X4
+	ADDPS  X4, X0
+	MOVUPS X0, (DI)
+	ADDQ   $16, DI
+	ADDQ   $16, SI
+	SUBQ   $4, CX
+	JMP    add4
+
+add1:
+	CMPQ CX, $0
+	JLE  addDone
+	MOVSS (DI), X0
+	MOVSS (SI), X4
+	ADDSS X4, X0
+	MOVSS X0, (DI)
+	ADDQ  $4, DI
+	ADDQ  $4, SI
+	DECQ  CX
+	JMP   add1
+
+addDone:
+	RET
+
+// func axpyKernel(dst *float32, a float32, src *float32, n int)
+// dst[i] += a*src[i], computed as mul-then-add (two roundings, no FMA) to
+// match the scalar path exactly.
+TEXT ·axpyKernel(SB), NOSPLIT, $0-32
+	MOVQ   dst+0(FP), DI
+	MOVSS  a+8(FP), X8
+	SHUFPS $0x00, X8, X8
+	MOVQ   src+16(FP), SI
+	MOVQ   n+24(FP), CX
+
+axpy8:
+	CMPQ CX, $8
+	JLT  axpy4
+	MOVUPS (SI), X1
+	MOVUPS 16(SI), X3
+	MULPS  X8, X1
+	MULPS  X8, X3
+	MOVUPS (DI), X0
+	MOVUPS 16(DI), X2
+	ADDPS  X1, X0
+	ADDPS  X3, X2
+	MOVUPS X0, (DI)
+	MOVUPS X2, 16(DI)
+	ADDQ   $32, DI
+	ADDQ   $32, SI
+	SUBQ   $8, CX
+	JMP    axpy8
+
+axpy4:
+	CMPQ CX, $4
+	JLT  axpy1
+	MOVUPS (SI), X1
+	MULPS  X8, X1
+	MOVUPS (DI), X0
+	ADDPS  X1, X0
+	MOVUPS X0, (DI)
+	ADDQ   $16, DI
+	ADDQ   $16, SI
+	SUBQ   $4, CX
+	JMP    axpy4
+
+axpy1:
+	CMPQ CX, $0
+	JLE  axpyDone
+	MOVSS (SI), X1
+	MULSS X8, X1
+	MOVSS (DI), X0
+	ADDSS X1, X0
+	MOVSS X0, (DI)
+	ADDQ  $4, DI
+	ADDQ  $4, SI
+	DECQ  CX
+	JMP   axpy1
+
+axpyDone:
+	RET
+
+// func scaleKernel(v *float32, c float32, n int)
+// v[i] *= c
+TEXT ·scaleKernel(SB), NOSPLIT, $0-24
+	MOVQ   v+0(FP), DI
+	MOVSS  c+8(FP), X8
+	SHUFPS $0x00, X8, X8
+	MOVQ   n+16(FP), CX
+
+scale8:
+	CMPQ CX, $8
+	JLT  scale4
+	MOVUPS (DI), X0
+	MOVUPS 16(DI), X1
+	MULPS  X8, X0
+	MULPS  X8, X1
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	ADDQ   $32, DI
+	SUBQ   $8, CX
+	JMP    scale8
+
+scale4:
+	CMPQ CX, $4
+	JLT  scale1
+	MOVUPS (DI), X0
+	MULPS  X8, X0
+	MOVUPS X0, (DI)
+	ADDQ   $16, DI
+	SUBQ   $4, CX
+	JMP    scale4
+
+scale1:
+	CMPQ CX, $0
+	JLE  scaleDone
+	MOVSS (DI), X0
+	MULSS X8, X0
+	MOVSS X0, (DI)
+	ADDQ  $4, DI
+	DECQ  CX
+	JMP   scale1
+
+scaleDone:
+	RET
+
+DATA absMask32<>+0(SB)/4, $0x7fffffff
+DATA absMask32<>+4(SB)/4, $0x7fffffff
+DATA absMask32<>+8(SB)/4, $0x7fffffff
+DATA absMask32<>+12(SB)/4, $0x7fffffff
+GLOBL absMask32<>(SB), RODATA|NOPTR, $16
+
+// func absMaxKernel(v *float32, n int) float32
+// max_i |v[i]| — max is associative and exact, so lane-parallel reduction
+// returns the same bits as the scalar scan for finite inputs.
+TEXT ·absMaxKernel(SB), NOSPLIT, $0-20
+	MOVQ   v+0(FP), SI
+	MOVQ   n+8(FP), CX
+	PXOR   X0, X0
+	MOVUPS absMask32<>(SB), X7
+
+amax4:
+	CMPQ CX, $4
+	JLT  amax1
+	MOVUPS (SI), X1
+	ANDPS  X7, X1
+	MAXPS  X1, X0
+	ADDQ   $16, SI
+	SUBQ   $4, CX
+	JMP    amax4
+
+amax1:
+	CMPQ CX, $0
+	JLE  amaxFold
+	MOVSS (SI), X1
+	ANDPS X7, X1
+	MAXSS X1, X0
+	ADDQ  $4, SI
+	DECQ  CX
+	JMP   amax1
+
+amaxFold:
+	MOVAPS X0, X1
+	SHUFPS $0x4E, X0, X1
+	MAXPS  X1, X0
+	MOVAPS X0, X1
+	SHUFPS $0xB1, X0, X1
+	MAXPS  X1, X0
+	MOVSS  X0, ret+16(FP)
+	RET
+
+DATA absMask64<>+0(SB)/8, $0x7fffffffffffffff
+DATA absMask64<>+8(SB)/8, $0x7fffffffffffffff
+GLOBL absMask64<>(SB), RODATA|NOPTR, $16
+
+// func qsgdFieldsKernel(fields *uint32, g *float32, rnd *float64, n int, norm float64, s float64)
+//
+// Two elements per iteration, replicating the scalar math exactly:
+//   scaled = float64(|g[i]|) / norm * s      (CVTPS2PD, ANDPD, DIVPD, MULPD)
+//   level  = trunc(scaled)                   (CVTTPD2PL)
+//   level++ when rnd[i] < scaled - level     (CVTPL2PD, SUBPD, CMPPD lt)
+//   level  = min(level, s)                   (PCMPGTL select)
+//   fields[i] = signbit(g[i]) | level<<1
+// n must be even.
+TEXT ·qsgdFieldsKernel(SB), NOSPLIT, $0-48
+	MOVQ fields+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ rnd+16(FP), DX
+	MOVQ n+24(FP), CX
+
+	// X8 = [norm, norm], X9 = [s, s], X10 = [int32(s) x4]
+	MOVSD    norm+32(FP), X8
+	UNPCKLPD X8, X8
+	MOVSD    s+40(FP), X9
+	UNPCKLPD X9, X9
+	CVTTSD2SL s+40(FP), AX
+	MOVQ     AX, X10
+	PSHUFD   $0x00, X10, X10
+
+qf2:
+	CMPQ CX, $2
+	JLT  qfDone
+
+	MOVSD    (SI), X0             // two float32 values in lanes 0,1
+	CVTPS2PD X0, X1               // X1 = [f64(x0), f64(x1)]
+	ANDPD    absMask64<>(SB), X1  // |x|
+	DIVPD    X8, X1               // |x| / norm
+	MULPD    X9, X1               // scaled = |x|/norm*s
+	CVTTPD2PL X1, X2              // level = trunc(scaled) in dword lanes 0,1
+	CVTPL2PD X2, X3               // float64(level)
+	SUBPD    X3, X1               // frac = scaled - level
+	MOVOU    (DX), X4             // rnd pair (as raw bits)
+	CMPPD    X1, X4, $1           // X4 = (rnd < frac) ? ~0 : 0, per qword lane
+	PSHUFD   $0x88, X4, X4        // pack qword masks into dword lanes 0,1
+	PSUBL    X4, X2               // level -= mask  (mask = -1 => level++)
+
+	// clamp: level = min(level, s)
+	MOVO     X2, X5
+	PCMPGTL  X10, X5              // X5 = (level > s) ? ~0 : 0
+	MOVO     X5, X6
+	PANDN    X2, X6               // X6 = level where not greater
+	PAND     X10, X5              // X5 = s where greater
+	POR      X5, X6               // clamped level
+
+	// field = signbit | level<<1
+	MOVO     X0, X7
+	PSRLL    $31, X7
+	PSLLL    $1, X6
+	POR      X7, X6
+	MOVQ     X6, (DI)             // two packed dword fields
+
+	ADDQ $8, SI
+	ADDQ $16, DX
+	ADDQ $8, DI
+	SUBQ $2, CX
+	JMP  qf2
+
+qfDone:
+	RET
+
+// func signedMeansKernel(v *float32, n int) (sp, sn float64, nNeg int64)
+//
+// Two double-precision accumulator lanes per sum, split by element parity,
+// folded lane0+lane1 at the end. Sign classification is the exact scalar
+// predicate x >= 0 expressed as NOT(x < 0): -0.0 counts as non-negative,
+// matching the scalar loop.
+TEXT ·signedMeansKernel(SB), NOSPLIT, $0-40
+	MOVQ v+0(FP), SI
+	MOVQ n+8(FP), CX
+	PXOR X2, X2 // sp accumulator (2 × float64)
+	PXOR X3, X3 // sn accumulator (2 × float64)
+	PXOR X4, X4 // negative-count accumulator (2 × int64)
+	PXOR X7, X7 // 0.0 pair for the sign compare
+
+sm4:
+	CMPQ CX, $4
+	JL   smFold
+	MOVUPS (SI), X0
+
+	// low float pair -> doubles
+	CVTPS2PD X0, X1
+	MOVO     X1, X5
+	CMPPD    X7, X5, $1 // X5 = (x < 0) ? ~0 : 0
+	MOVO     X5, X6
+	ANDNPD   X1, X6     // x where x >= 0, +0.0 elsewhere
+	ADDPD    X6, X2
+	MOVO     X5, X6
+	ANDPD    X1, X6     // x where x < 0, +0.0 elsewhere
+	SUBPD    X6, X3     // sn -= x  (accumulates |x|)
+	PSUBQ    X5, X4     // count += 1 per negative lane (mask qword = -1)
+
+	// high float pair -> doubles
+	MOVAPS   X0, X1
+	SHUFPS   $0xEE, X1, X1
+	CVTPS2PD X1, X1
+	MOVO     X1, X5
+	CMPPD    X7, X5, $1
+	MOVO     X5, X6
+	ANDNPD   X1, X6
+	ADDPD    X6, X2
+	MOVO     X5, X6
+	ANDPD    X1, X6
+	SUBPD    X6, X3
+	PSUBQ    X5, X4
+
+	ADDQ $16, SI
+	SUBQ $4, CX
+	JMP  sm4
+
+smFold:
+	PSHUFD $0x4E, X2, X1
+	ADDSD  X1, X2
+	MOVSD  X2, sp+16(FP)
+	PSHUFD $0x4E, X3, X1
+	ADDSD  X1, X3
+	MOVSD  X3, sn+24(FP)
+	PSHUFD $0x4E, X4, X1
+	PADDQ  X1, X4
+	MOVQ   X4, AX
+	MOVQ   AX, nNeg+32(FP)
+	RET

@@ -1,0 +1,27 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// Portable fallbacks for the assembly kernels in simd_amd64.s. Selected on
+// non-amd64 targets and under the purego build tag; bitwise-identical to the
+// vector kernels by construction (same per-element arithmetic).
+
+// SIMDEnabled reports whether the assembly vector kernels are compiled in.
+func SIMDEnabled() bool { return false }
+
+func vecAdd(dst, src Vec)                 { addScalar(dst, src) }
+func vecAXPY(dst Vec, a float32, src Vec) { axpyScalar(dst, a, src) }
+func vecScale(v Vec, c float32)           { scaleScalar(v, c) }
+func vecAbsMax(v Vec) float32             { return absMaxScalar(v) }
+
+// quantFieldsArch handles no elements on portable builds; the caller's scalar
+// loop does all the work.
+func quantFieldsArch(fields []uint32, g []float32, rnd []float64, norm float32, levels int) int {
+	return 0
+}
+
+// signedMeansArch handles no elements on portable builds; the caller's
+// sequential loop does all the work.
+func signedMeansArch(v []float32) (sp, sn float64, np, done int) {
+	return 0, 0, 0, 0
+}

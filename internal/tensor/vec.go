@@ -36,8 +36,14 @@ func Clone(v Vec) Vec {
 }
 
 // Add computes dst[i] += src[i]. Panics when lengths differ.
+// Dispatches to the SSE2 kernel on amd64 (see simd_amd64.go); per-lane adds
+// keep the result bitwise identical to the scalar loop.
 func Add(dst, src Vec) {
 	checkLen(len(dst), len(src))
+	vecAdd(dst, src)
+}
+
+func addScalar(dst, src Vec) {
 	for i, s := range src {
 		dst[i] += s
 	}
@@ -59,16 +65,26 @@ func Mul(dst, src Vec) {
 	}
 }
 
-// Scale computes v[i] *= c in place.
+// Scale computes v[i] *= c in place (SIMD-dispatched, bitwise identical).
 func Scale(v Vec, c float32) {
+	vecScale(v, c)
+}
+
+func scaleScalar(v Vec, c float32) {
 	for i := range v {
 		v[i] *= c
 	}
 }
 
-// AXPY computes dst[i] += a*src[i] (the BLAS axpy kernel).
+// AXPY computes dst[i] += a*src[i] (the BLAS axpy kernel). The SIMD path
+// multiplies then adds with two roundings — no FMA — matching the scalar
+// loop bit for bit.
 func AXPY(dst Vec, a float32, src Vec) {
 	checkLen(len(dst), len(src))
+	vecAXPY(dst, a, src)
+}
+
+func axpyScalar(dst Vec, a float32, src Vec) {
 	for i, s := range src {
 		dst[i] += a * s
 	}
@@ -102,8 +118,14 @@ func Norm2(v Vec) float64 {
 	return math.Sqrt(s)
 }
 
-// AbsMax returns max_i |v[i]|, or 0 for an empty vector.
+// AbsMax returns max_i |v[i]|, or 0 for an empty vector. max is exact, so
+// the lane-parallel SIMD reduction returns the same bits as this scan for
+// finite inputs.
 func AbsMax(v Vec) float32 {
+	return vecAbsMax(v)
+}
+
+func absMaxScalar(v Vec) float32 {
 	var m float32
 	for _, x := range v {
 		a := x
@@ -137,16 +159,7 @@ func MaxIdx(v Vec) int {
 // When a side is empty its mean is 0 (the natural neutral element for the
 // enc operator). nPos reports how many entries were non-negative.
 func SignedMeans(v Vec) (muPos, muNeg float32, nPos int) {
-	var sp, sn float64
-	np := 0
-	for _, x := range v {
-		if x >= 0 {
-			sp += float64(x)
-			np++
-		} else {
-			sn -= float64(x)
-		}
-	}
+	sp, sn, np := signedMeansAccum(v)
 	if np > 0 {
 		muPos = float32(sp / float64(np))
 	}
@@ -154,6 +167,23 @@ func SignedMeans(v Vec) (muPos, muNeg float32, nPos int) {
 		muNeg = float32(sn / float64(nn))
 	}
 	return muPos, muNeg, np
+}
+
+// signedMeansAccum is the shared reduction body of SignedMeans and the
+// ParSignedMeans chunk workers: the vector kernel (where compiled in) covers
+// the aligned prefix and the sequential loop folds in the tail.
+func signedMeansAccum(v Vec) (sp, sn float64, np int) {
+	var done int
+	sp, sn, np, done = signedMeansArch(v)
+	for _, x := range v[done:] {
+		if x >= 0 {
+			sp += float64(x)
+			np++
+		} else {
+			sn -= float64(x)
+		}
+	}
+	return sp, sn, np
 }
 
 // HasNaNOrInf reports whether any element is NaN or ±Inf. The training
@@ -226,16 +256,7 @@ type signedMeansPart struct {
 // heap-allocating a capture — part of the hot path's allocation discipline.
 func signedMeansWorker(v Vec, out *signedMeansPart, wg *sync.WaitGroup) {
 	defer wg.Done()
-	var sp, sn float64
-	np := 0
-	for _, x := range v {
-		if x >= 0 {
-			sp += float64(x)
-			np++
-		} else {
-			sn -= float64(x)
-		}
-	}
+	sp, sn, np := signedMeansAccum(v)
 	*out = signedMeansPart{sp, sn, np}
 }
 

@@ -1,0 +1,36 @@
+//go:build !purego
+
+package tensor
+
+import "unsafe"
+
+// Zero-copy views between []float32 and []uint32 — the second half of the
+// bits.go pattern. Unlike the byte views, these are endian-independent:
+// uint32 and float32 share size, alignment and bit layout on every supported
+// target, so the alias view gives exactly math.Float32bits / Float32frombits
+// of each element. Only the purego tag forces the copying fallback. The
+// quantized-stream encoders use these to publish their packed words as a
+// float32 collective payload (and to read gathered streams back) without the
+// per-word conversion loop.
+
+// WordsZeroCopy reports whether U32FromF32/F32FromU32 return alias views.
+func WordsZeroCopy() bool { return true }
+
+// U32FromF32 reinterprets v's backing array as []uint32 without copying:
+// element i equals math.Float32bits(v[i]) and mutations are visible through
+// both slices.
+func U32FromF32(v []float32) []uint32 {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&v[0])), len(v))
+}
+
+// F32FromU32 is the inverse view: element i equals
+// math.Float32frombits(w[i]).
+func F32FromU32(w []uint32) []float32 {
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&w[0])), len(w))
+}

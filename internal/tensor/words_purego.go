@@ -1,0 +1,29 @@
+//go:build purego
+
+package tensor
+
+import "math"
+
+// WordsZeroCopy reports that this build cannot alias float32 memory as
+// uint32 words; callers must branch on it and convert into their own pooled
+// buffers. The allocating helpers below keep non-hot-path code working
+// unchanged.
+func WordsZeroCopy() bool { return false }
+
+// U32FromF32 is the copying fallback of the zero-copy view.
+func U32FromF32(v []float32) []uint32 {
+	w := make([]uint32, len(v))
+	for i, f := range v {
+		w[i] = math.Float32bits(f)
+	}
+	return w
+}
+
+// F32FromU32 is the copying fallback of the zero-copy view.
+func F32FromU32(w []uint32) []float32 {
+	v := make([]float32, len(w))
+	for i, u := range w {
+		v[i] = math.Float32frombits(u)
+	}
+	return v
+}
