@@ -41,6 +41,7 @@ import (
 
 	"a2sgd/internal/cluster"
 	"a2sgd/internal/comm"
+	"a2sgd/internal/comm/faultnet"
 	"a2sgd/internal/comm/tcpnet"
 	"a2sgd/internal/compress"
 	_ "a2sgd/internal/core" // registers a2sgd and its ablation variants
@@ -228,6 +229,19 @@ type TrainConfig struct {
 	// the in-process channel fabric. Results are identical (the collectives
 	// are transport agnostic); this exercises the network stack end to end.
 	TCP bool
+	// Faults injects deterministic, seeded network faults into the worker
+	// group — a faultnet scenario string such as
+	//
+	//	"delay(link=0-1, alpha=200us, beta=1ns/B) straggler(rank=2, x3) crash(rank=3, step=5)"
+	//
+	// (see a2sgd/internal/comm/faultnet for the full grammar: delay, bw,
+	// loss, dup, reorder, straggler, crash, stall, flap, partition, plus the
+	// seed/deadline/retry pseudo-rules). Composes with TCP: faults wrap
+	// whichever transport the run uses. Recoverable scenarios perturb timing
+	// only — results stay bitwise identical to the fault-free run — while
+	// crash/stall scenarios make Train return a step-scoped error within the
+	// scenario deadline instead of hanging. Empty disables injection.
+	Faults string
 	// LRScale multiplies the Table-1 learning-rate schedule (reduced-scale
 	// calibration; 0 = default).
 	LRScale float64
@@ -388,7 +402,10 @@ func Train(tc TrainConfig) (*Result, error) {
 			return nil, err
 		}
 	}
-	cfg := clusterConfig(tc)
+	cfg, err := clusterConfig(tc)
+	if err != nil {
+		return nil, err
+	}
 	cfg.BucketBytes = tc.BucketBytes
 	cfg.Overlap = tc.Overlap
 	cfg.Topology = tc.Topology
@@ -415,7 +432,7 @@ func Train(tc TrainConfig) (*Result, error) {
 }
 
 // clusterConfig copies the schedule-independent TrainConfig fields.
-func clusterConfig(tc TrainConfig) cluster.Config {
+func clusterConfig(tc TrainConfig) (cluster.Config, error) {
 	cfg := cluster.Config{
 		Workers:        tc.Workers,
 		Family:         tc.Family,
@@ -429,10 +446,16 @@ func clusterConfig(tc TrainConfig) cluster.Config {
 		Concurrency:    tc.Concurrency,
 		Interleave:     tc.Interleave,
 	}
-	if tc.TCP {
+	if tc.Faults != "" {
+		sc, err := faultnet.Parse(tc.Faults)
+		if err != nil {
+			return cluster.Config{}, fmt.Errorf("a2sgd: Faults: %w", err)
+		}
+		cfg.GroupRunner = faultnet.GroupRunner(sc, tc.TCP)
+	} else if tc.TCP {
 		cfg.GroupRunner = tcpnet.RunGroup
 	}
-	return cfg
+	return cfg, nil
 }
 
 // trainSchedule runs a pre-planned schedule: the cluster consumes its
@@ -441,7 +464,10 @@ func clusterConfig(tc TrainConfig) cluster.Config {
 // uses — which is what makes a schedule lowered from legacy knobs
 // (plan.Lower) reproduce the flat configuration bitwise.
 func trainSchedule(tc TrainConfig, sched *Schedule, allreduce comm.AllreduceAlgorithm) (*Result, error) {
-	cfg := clusterConfig(tc)
+	cfg, err := clusterConfig(tc)
+	if err != nil {
+		return nil, err
+	}
 	cfg.Schedule = sched
 	cfg.NewBucketAlgorithm = func(rank int, info compress.BucketInfo) compress.Algorithm {
 		o := compress.DefaultOptions(info.Params)

@@ -49,7 +49,7 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|hierarchy|mixed|auto|hotpath|all")
+	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|hierarchy|mixed|auto|hotpath|chaos|all")
 	maxN := flag.Int("maxn", 25_000_000, "largest parameter count for fig2")
 	scale := flag.Int("scale", 10, "divide paper parameter counts by this for fig4/fig5/table2/auto (1 = full)")
 	workersFlag := flag.String("workers", "2,4,8,16", "worker counts for fig3/fig4/fig5")
@@ -65,6 +65,8 @@ func main() {
 	mixBucketsFlag := flag.String("mixbuckets", "4096,16384", "bucket byte budgets for the mixed-policy sweep")
 	policiesFlag := flag.String("policies", "",
 		"per-bucket policies for the mixed sweep, semicolon separated — "+strings.Join(compress.PolicyUsage(), "; "))
+	chaosSeed := flag.Uint64("chaosseed", 11, "scenario + training seed for the chaos matrix")
+	chaosTCP := flag.Bool("chaostcp", false, "run the chaos matrix over loopback TCP instead of the in-process fabric")
 	jsonPath := flag.String("json", "", "write executed experiments' structured results as JSON to this file (\"-\" = stdout)")
 	comparePath := flag.String("compare", "",
 		"compare the hotpath run against the newest entry of this BENCH_hotpath.json trajectory file; exit nonzero on regression")
@@ -235,6 +237,14 @@ func main() {
 			Workers: wk, ParamScale: *scale, Specs: algos,
 			TrainFamily: "fnn3", Epochs: *epochs, Steps: *steps,
 		})
+	})
+
+	run("chaos", func() (any, error) {
+		// Seeded fault-injection matrix: recoverable scenarios must train to
+		// a checkpoint bitwise identical to the fault-free baseline,
+		// crash/stall scenarios must fail within their deadline, and the α–β
+		// delay scenarios report measured vs netsim-predicted slowdown.
+		return bench.Chaos(w, bench.ChaosConfig{Seed: *chaosSeed, TCP: *chaosTCP})
 	})
 
 	var hotRep *bench.HotPathReport

@@ -595,6 +595,10 @@ func Train(c Config) (*Result, error) {
 				} else {
 					batch = txt.Sample(sampleRNG, cfg.BatchPerWorker, cfg.SeqLen)
 				}
+				// Tell step-aware transports (faultnet) a new training step
+				// begins, so step-scoped faults (crash/stall at step k) fire
+				// on the step boundary. A no-op on plain transports.
+				cm.AdvanceStep()
 				model.ZeroGrads()
 				// Histogram steps take the post-backward launch path on
 				// EVERY rank (the capture needs the raw local gradient
@@ -694,7 +698,7 @@ func Train(c Config) (*Result, error) {
 							} else {
 								t2 := time.Now()
 								if err := bucketed.ExchangeBucket(b, payload, bucketGrad[b], cm); err != nil {
-									return err
+									return fmt.Errorf("cluster: step %d bucket %d sync: %w", globalStep, b, err)
 								}
 								syncSec += time.Since(t2).Seconds()
 							}
@@ -704,7 +708,7 @@ func Train(c Config) (*Result, error) {
 				if overlap {
 					t2 := time.Now()
 					if err := comm.WaitAll(reqs); err != nil {
-						return err
+						return fmt.Errorf("cluster: step %d sync: %w", globalStep, err)
 					}
 					syncSec += time.Since(t2).Seconds()
 					reqScratch = reqs
@@ -742,7 +746,7 @@ func Train(c Config) (*Result, error) {
 		// replicas end identical (A2SGD replicas drift by design).
 		model.GatherParams(grad) // reuse the gradient buffer as scratch
 		if err := cm.AllreduceMean(grad, comm.AlgoAuto); err != nil {
-			return err
+			return fmt.Errorf("cluster: final dense synchronization: %w", err)
 		}
 		model.ScatterParams(grad)
 

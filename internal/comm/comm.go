@@ -89,6 +89,10 @@ type Communicator struct {
 	// barOne/barBuf are Barrier's one-element token buffers.
 	barOne, barBuf [1]float32
 
+	// retry bounds the automatic resend of transient peer failures
+	// (failure.go); the zero value fails fast on the first error.
+	retry RetryPolicy
+
 	// children are the group communicators created by Split; their traffic
 	// is folded into this communicator's Traffic.
 	children []*Communicator
@@ -158,7 +162,14 @@ func (c *Communicator) ResetTraffic() {
 }
 
 func (c *Communicator) send(to, tag int, data []float32) error {
-	if err := c.t.Send(to, tag, data); err != nil {
+	err := c.t.Send(to, tag, data)
+	// Transient errors promise the operation had no stream effect, so a
+	// verbatim resend is safe; back off exponentially up to retry.Attempts.
+	for a := 0; err != nil && a+1 < c.retry.Attempts && IsTransient(err); a++ {
+		c.retry.sleep(a)
+		err = c.t.Send(to, tag, data)
+	}
+	if err != nil {
 		return err
 	}
 	c.bytesSent.Add(int64(4 * len(data)))
@@ -167,7 +178,12 @@ func (c *Communicator) send(to, tag int, data []float32) error {
 }
 
 func (c *Communicator) recv(from, tag int, data []float32) error {
-	if err := c.t.Recv(from, tag, data); err != nil {
+	err := c.t.Recv(from, tag, data)
+	for a := 0; err != nil && a+1 < c.retry.Attempts && IsTransient(err); a++ {
+		c.retry.sleep(a)
+		err = c.t.Recv(from, tag, data)
+	}
+	if err != nil {
 		return err
 	}
 	c.bytesRecv.Add(int64(4 * len(data)))

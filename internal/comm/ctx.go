@@ -85,6 +85,7 @@ func (c *Communicator) SetConcurrency(n int) error {
 	ctxComms[0] = c
 	for k := 1; k < n; k++ {
 		sc := NewCommunicator(&ctxTransport{t: c.t, off: k * ctxTagShift})
+		sc.retry = c.retry
 		if c.hier != nil {
 			if err := sc.SetTopology(c.hier.ranksPerNode); err != nil {
 				return fmt.Errorf("comm: context %d topology: %w", k, err)

@@ -75,6 +75,28 @@
 // buffer. AllocsPerRun tests pin a warm AllreduceMean at zero allocations;
 // see ARCHITECTURE.md "Memory discipline & hot path".
 //
+// # Failure contract: deadlines, retry, typed errors
+//
+// Transport failures surface as *PeerError values carrying the peer rank, the
+// operation ("send"/"recv"), a Timeout flag, and two delivery promises: a
+// Transient error had no stream effect — no bytes moved, so retrying the same
+// call verbatim is safe — while a non-transient error may have left a partial
+// frame on the wire and poisons the stream (tcpnet latches it and fails every
+// later operation on that link). Deadlines are opt-in: tcpnet's
+// Config.IOTimeout arms a per-operation I/O deadline (zero keeps the
+// historical blocking semantics), and a Recv that expires cleanly while
+// waiting for a frame header is non-sticky — the stream stays usable.
+// SetRetry installs a bounded exponential-backoff RetryPolicy around the
+// communicator's point-to-point calls; only transient errors are retried, and
+// the healthy path pays a single branch (zero allocations — the AllocsPerRun
+// tests cover the retry-wrapped path too). WaitAll drains every outstanding
+// request even after the first failure — no goroutine or pooled request is
+// leaked — and returns the joined errors, so a failed step tears down
+// fail-fast with every rank's view preserved. The cluster runtime wraps such
+// failures step-scoped ("cluster: step 7 sync: rank 2: ..."), and the
+// faultnet package (a2sgd/internal/comm/faultnet) exercises this whole
+// contract with deterministic injected faults.
+//
 // # Traffic accounting
 //
 // Every Communicator keeps per-rank traffic counters (payload bytes sent and

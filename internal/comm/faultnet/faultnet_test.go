@@ -1,0 +1,324 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"a2sgd/internal/comm"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"delay(link=0-1, alpha=200µs, beta=1ns/B)",
+		"delay(link=*, alpha=50µs, jitter=200µs)",
+		"seed(42) bw(link=2-*, mbps=400)",
+		"loss(link=*, p=0.05, resend=2ms) dup(link=*, p=0.2)",
+		"reorder(link=0-1, p=0.3) straggler(rank=2, x=3)",
+		"deadline(500ms) crash(rank=3, step=5)",
+		"deadline(400ms) stall(rank=1, step=2)",
+		"retry(attempts=6, backoff=2ms, max=20ms) flap(rank=1, period=40ms, duty=0.8)",
+		"partition(groups=0-1|2-3, after=30ms, dur=25ms)",
+	}
+	for _, src := range cases {
+		sc, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		sc2, err := Parse(sc.String())
+		if err != nil {
+			t.Fatalf("reparse(%q → %q): %v", src, sc.String(), err)
+		}
+		if !reflect.DeepEqual(sc, sc2) {
+			t.Errorf("round trip diverged:\n src %q\n 1st %+v\n 2nd %+v", src, sc, sc2)
+		}
+	}
+}
+
+func TestParseAcceptsIssueExample(t *testing.T) {
+	sc, err := Parse("delay(link=0-1,alpha=200us,beta=1ns/B) straggler(rank=2,x3) crash(rank=3,step=5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Rules) != 3 {
+		t.Fatalf("want 3 rules, got %+v", sc.Rules)
+	}
+	if sc.Rules[1].Factor != 3 {
+		t.Errorf("bare x3 factor: got %v", sc.Rules[1].Factor)
+	}
+	if sc.Recoverable() {
+		t.Error("crash scenario must not be recoverable")
+	}
+	if sc.Deadline == 0 {
+		t.Error("crash scenario must default a deadline")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"delay",                               // no parens
+		"wobble(link=*)",                      // unknown rule
+		"delay(link=*)",                       // no delay magnitude
+		"delay(link=*, alpha=xx)",             // bad duration
+		"delay(link=*, beta=1ns)",             // beta without /B
+		"dup(link=*, p=1.5)",                  // p out of range
+		"crash(rank=1)",                       // missing step
+		"straggler(rank=1)",                   // missing factor
+		"partition(groups=0-1)",               // one side
+		"flap(rank=0, duty=1.5)",              // duty out of range
+		"delay(link=*, alpha=1ms, alpha=2ms)", // duplicate key
+		"delay(link=*, alpha=1ms, bogus=2)",   // unknown key
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestLinkMatching(t *testing.T) {
+	l01 := Link{A: 0, B: 1}
+	if !l01.Matches(0, 1) || !l01.Matches(1, 0) {
+		t.Error("link 0-1 must match both directions")
+	}
+	if l01.Matches(0, 2) {
+		t.Error("link 0-1 must not match 0-2")
+	}
+	l2any := Link{A: 2, B: -1}
+	if !l2any.Matches(2, 0) || !l2any.Matches(1, 2) {
+		t.Error("link 2-* must match every link touching rank 2")
+	}
+	if l2any.Matches(0, 1) {
+		t.Error("link 2-* must not match 0-1")
+	}
+	if !AnyLink.Matches(3, 4) {
+		t.Error("link * must match everything")
+	}
+}
+
+func TestSendPlanDeterministic(t *testing.T) {
+	sc := MustParse("seed(7) delay(link=*, alpha=10µs, jitter=100µs) loss(link=*, p=0.3, resend=1ms) dup(link=*, p=0.3) reorder(link=*, p=0.3)")
+	m1 := NewMesh(sc, 4, nil)
+	m2 := NewMesh(sc, 4, nil)
+	for i := 0; i < 200; i++ {
+		d1, dup1, hold1 := m1.sendPlan(0, 1, 1024)
+		d2, dup2, hold2 := m2.sendPlan(0, 1, 1024)
+		if d1 != d2 || dup1 != dup2 || hold1 != hold2 {
+			t.Fatalf("draw %d diverged: (%v %v %v) vs (%v %v %v)", i, d1, dup1, hold1, d2, dup2, hold2)
+		}
+	}
+	// Streams must differ per link.
+	d01, _, _ := m1.sendPlan(0, 1, 1024)
+	d23, _, _ := m1.sendPlan(2, 3, 1024)
+	if d01 == d23 {
+		t.Log("per-link draws coincided once (possible but unlikely); not failing")
+	}
+}
+
+// ringBody runs a few allreduces and an allgatherv and checks the values, the
+// workload the fault-equivalence tests reuse.
+func ringBody(steps, n int) func(c *comm.Communicator) error {
+	return func(c *comm.Communicator) error {
+		p, r := c.Size(), c.Rank()
+		for s := 0; s < steps; s++ {
+			v := make([]float32, n)
+			for i := range v {
+				v[i] = float32(r + s + i)
+			}
+			if err := c.AllreduceMean(v, comm.AlgoAuto); err != nil {
+				return err
+			}
+			for i := range v {
+				want := float32(s+i) + float32(p-1)/2
+				if math.Abs(float64(v[i]-want)) > 1e-5 {
+					return fmt.Errorf("rank %d step %d: v[%d]=%v want %v", r, s, i, v[i], want)
+				}
+			}
+			in := make([]float32, r+1) // variable length per rank
+			for i := range in {
+				in[i] = float32(r)
+			}
+			out, lens, err := c.AllgatherV(in)
+			if err != nil {
+				return err
+			}
+			for i, l := range lens {
+				if l != i+1 {
+					return fmt.Errorf("rank %d: lens[%d]=%d", r, i, l)
+				}
+			}
+			if len(out) != p*(p+1)/2 {
+				return fmt.Errorf("rank %d: out len %d", r, len(out))
+			}
+		}
+		return nil
+	}
+}
+
+func TestRecoverableFaultsPreserveCollectives(t *testing.T) {
+	scenarios := []string{
+		"",
+		"delay(link=*, alpha=20µs, jitter=30µs)",
+		"dup(link=*, p=0.4)",
+		"reorder(link=*, p=0.4)",
+		"dup(link=*, p=0.3) reorder(link=*, p=0.3) loss(link=*, p=0.1, resend=100µs)",
+		"straggler(rank=1, x2)",
+		"flap(rank=1, period=20ms, duty=0.7)",
+		"partition(groups=0-1|2-3, after=5ms, dur=10ms)",
+	}
+	for _, src := range scenarios {
+		src := src
+		t.Run(strings.SplitN(src+"(", "(", 2)[0], func(t *testing.T) {
+			t.Parallel()
+			sc := MustParse(src)
+			if !sc.Recoverable() {
+				t.Fatalf("scenario %q should be recoverable", src)
+			}
+			if err := RunGroup(sc, 4, ringBody(6, 512)); err != nil {
+				t.Fatalf("scenario %q: %v", src, err)
+			}
+		})
+	}
+}
+
+func TestRecoverableFaultsOverTCP(t *testing.T) {
+	sc := MustParse("dup(link=*, p=0.3) reorder(link=*, p=0.3) delay(link=*, alpha=10µs)")
+	if err := RunGroupTCP(sc, 3, ringBody(4, 256)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stepBody advances the step counter then allreduces, like one training step.
+func stepBody(steps, n int) func(c *comm.Communicator) error {
+	return func(c *comm.Communicator) error {
+		v := make([]float32, n)
+		for s := 0; s < steps; s++ {
+			c.AdvanceStep()
+			for i := range v {
+				v[i] = 1
+			}
+			if err := c.AllreduceMean(v, comm.AlgoAuto); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func TestCrashFailsFastWithPeerError(t *testing.T) {
+	sc := MustParse("deadline(1s) crash(rank=1, step=2)")
+	start := time.Now()
+	err := RunGroup(sc, 3, stepBody(8, 64))
+	if err == nil {
+		t.Fatal("crash scenario completed without error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("crash took %v to surface (deadline 1s)", elapsed)
+	}
+	var pe *comm.PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error chain has no *comm.PeerError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank") {
+		t.Fatalf("joined error does not name a rank: %v", err)
+	}
+}
+
+func TestCrashOverTCPFailsFast(t *testing.T) {
+	sc := MustParse("deadline(1s) crash(rank=1, step=1)")
+	start := time.Now()
+	err := RunGroupTCP(sc, 3, stepBody(6, 64))
+	if err == nil {
+		t.Fatal("TCP crash scenario completed without error")
+	}
+	if elapsed := time.Since(start); elapsed > 8*time.Second {
+		t.Fatalf("TCP crash took %v to surface", elapsed)
+	}
+}
+
+func TestStallFailsWithinDeadline(t *testing.T) {
+	sc := MustParse("deadline(300ms) stall(rank=2, step=1)")
+	start := time.Now()
+	err := RunGroup(sc, 3, stepBody(6, 64))
+	if err == nil {
+		t.Fatal("stall scenario completed without error")
+	}
+	// The first blocked collective must escape within ~one deadline, plus
+	// teardown slack.
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("stall took %v to surface (deadline 300ms)", elapsed)
+	}
+	var pe *comm.PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error chain has no *comm.PeerError: %v", err)
+	}
+}
+
+func TestInactiveScenarioUsesBareFabric(t *testing.T) {
+	sc := MustParse("")
+	if sc.Active() {
+		t.Fatal("empty scenario must be inactive")
+	}
+	if err := RunGroup(sc, 2, ringBody(2, 128)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransientErrorRetriedByCommunicator(t *testing.T) {
+	// flapBase fails the first two sends per (to,tag) with a transient
+	// error; the communicator's retry policy must absorb them.
+	f := comm.NewInprocFabric(2)
+	defer f.Shutdown()
+	errs := RunPair(t, f, 2)
+	if errs != nil {
+		t.Fatal(errs)
+	}
+}
+
+// RunPair exercises retry against a deterministic failing wrapper.
+func RunPair(t *testing.T, f *comm.InprocFabric, failures int) error {
+	t.Helper()
+	done := make(chan error, 2)
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			base := f.Transport(r)
+			c := comm.NewCommunicator(&flakyTransport{Transport: base, failEvery: failures})
+			c.SetRetry(comm.RetryPolicy{Attempts: failures + 2, Backoff: 100 * time.Microsecond})
+			v := []float32{float32(r + 1)}
+			if err := c.AllreduceSum(v, comm.AlgoRing); err != nil {
+				done <- err
+				return
+			}
+			if v[0] != 3 {
+				done <- fmt.Errorf("rank %d: sum %v want 3", r, v[0])
+				return
+			}
+			done <- nil
+		}(r)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flakyTransport fails the first failEvery attempts of every send with a
+// transient PeerError, then lets it through.
+type flakyTransport struct {
+	comm.Transport
+	failEvery int
+	calls     int
+}
+
+func (t *flakyTransport) Send(to, tag int, data []float32) error {
+	t.calls++
+	if t.calls%(t.failEvery+1) != 0 {
+		return &comm.PeerError{Rank: to, Op: "send", Transient: true, Err: errLinkDown}
+	}
+	return t.Transport.Send(to, tag, data)
+}

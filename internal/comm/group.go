@@ -118,6 +118,7 @@ func (c *Communicator) Split(color, key int) (*Communicator, error) {
 		rank:   myRank,
 		tagOff: (color + 1) * groupTagShift,
 	})
+	g.retry = c.retry
 	c.children = append(c.children, g)
 	return g, nil
 }

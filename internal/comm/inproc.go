@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // inprocMsg carries one tagged payload between two ranks. data is a view of
@@ -33,6 +34,20 @@ type InprocFabric struct {
 	pool  sync.Pool          // *[]float32 transit buffers
 	done  chan struct{}
 	once  sync.Once
+
+	// ioTimeout, when > 0, bounds each Send/Recv; expiry returns a
+	// *PeerError{Timeout: true}. Zero (the default) blocks forever and keeps
+	// the steady-state path timer-free and allocation-free.
+	ioTimeout time.Duration
+	// dead[r] is closed by Kill(r): every operation touching rank r — its
+	// own and its peers' — fails with *PeerError wrapping ErrPeerDead.
+	dead []deadFlag
+}
+
+// deadFlag is one rank's kill switch.
+type deadFlag struct {
+	once sync.Once
+	ch   chan struct{}
 }
 
 // pairMatch is the receive-side tag matcher for one ordered (src, dst) pair.
@@ -62,6 +77,10 @@ func NewInprocFabric(size int) *InprocFabric {
 	}
 	f := &InprocFabric{size: size, done: make(chan struct{})}
 	f.pool.New = func() any { return new([]float32) }
+	f.dead = make([]deadFlag, size)
+	for r := range f.dead {
+		f.dead[r].ch = make(chan struct{})
+	}
 	f.chans = make([][]chan inprocMsg, size)
 	f.match = make([][]pairMatch, size)
 	for s := range f.chans {
@@ -82,6 +101,33 @@ func (f *InprocFabric) Size() int { return f.size }
 // Shutdown unblocks all pending and future operations with ErrFabricClosed.
 func (f *InprocFabric) Shutdown() {
 	f.once.Do(func() { close(f.done) })
+}
+
+// SetIOTimeout bounds every subsequent Send and Recv on the fabric; an
+// expired operation returns a *PeerError with Timeout set. Call before
+// handing transports out. Zero (the default) restores unbounded blocking.
+func (f *InprocFabric) SetIOTimeout(d time.Duration) { f.ioTimeout = d }
+
+// Kill marks a rank dead, modelling a process crash: the rank's own pending
+// and future operations, and every peer operation addressed to it, fail with
+// a *PeerError wrapping ErrPeerDead. Unlike Shutdown the rest of the fabric
+// keeps working, so surviving ranks observe a peer-scoped failure rather
+// than a fabric-wide teardown.
+func (f *InprocFabric) Kill(rank int) {
+	if rank < 0 || rank >= f.size {
+		return
+	}
+	f.dead[rank].once.Do(func() { close(f.dead[rank].ch) })
+}
+
+// killed reports whether Kill(rank) has been called.
+func (f *InprocFabric) killed(rank int) bool {
+	select {
+	case <-f.dead[rank].ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // ErrFabricClosed is returned by transport operations after Shutdown.
@@ -128,6 +174,12 @@ func (t *inprocTransport) Send(to, tag int, data []float32) error {
 		return ErrFabricClosed
 	default:
 	}
+	if t.f.killed(t.rank) {
+		return &PeerError{Rank: t.rank, Op: "send", Err: ErrPeerDead}
+	}
+	if t.f.killed(to) {
+		return &PeerError{Rank: to, Op: "send", Err: ErrPeerDead}
+	}
 	// Copy: the caller may reuse the buffer as soon as Send returns. The
 	// transit buffer comes from the fabric pool and goes back to it when
 	// the matching Recv has copied into its destination.
@@ -137,14 +189,34 @@ func (t *inprocTransport) Send(to, tag int, data []float32) error {
 	}
 	cp := (*bp)[:len(data)]
 	copy(cp, data)
+	// The timer exists only when an I/O deadline is configured; the default
+	// path keeps its nil channel (a nil select case never fires) and stays
+	// off the allocator.
+	var timeoutC <-chan time.Time
+	if t.f.ioTimeout > 0 {
+		tm := time.NewTimer(t.f.ioTimeout)
+		defer tm.Stop()
+		timeoutC = tm.C
+	}
 	select {
 	case t.f.chans[t.rank][to] <- inprocMsg{tag: tag, data: cp, buf: bp}:
 		return nil
 	case <-t.f.done:
 		t.f.pool.Put(bp)
 		return ErrFabricClosed
+	case <-t.f.dead[to].ch:
+		t.f.pool.Put(bp)
+		return &PeerError{Rank: to, Op: "send", Err: ErrPeerDead}
+	case <-timeoutC:
+		t.f.pool.Put(bp)
+		return &PeerError{Rank: to, Op: "send", Timeout: true, Err: errSendBufferFull}
 	}
 }
+
+// errSendBufferFull explains an inproc send deadline expiry: the per-pair
+// channel stayed full for the whole window, i.e. the receiver stopped
+// draining.
+var errSendBufferFull = errors.New("comm: peer stopped draining (send buffer full)")
 
 // deliver copies a matched message into the destination and recycles the
 // transit buffer.
@@ -161,6 +233,18 @@ func (t *inprocTransport) deliver(from, tag int, m inprocMsg, data []float32) er
 func (t *inprocTransport) Recv(from, tag int, data []float32) error {
 	if from < 0 || from >= t.f.size {
 		return fmt.Errorf("comm: recv from invalid rank %d", from)
+	}
+	if t.f.killed(t.rank) {
+		return &PeerError{Rank: t.rank, Op: "recv", Err: ErrPeerDead}
+	}
+	// Messages already in flight from a now-dead peer are still delivered
+	// (the data left the peer before it died); only the blocking pull below
+	// observes the death. Like Send, the timer exists only under a deadline.
+	var timeoutC <-chan time.Time
+	if t.f.ioTimeout > 0 {
+		tm := time.NewTimer(t.f.ioTimeout)
+		defer tm.Stop()
+		timeoutC = tm.C
 	}
 	pm := &t.f.match[from][t.rank]
 	pm.mu.Lock()
@@ -201,9 +285,31 @@ func (t *inprocTransport) Recv(from, tag int, data []float32) error {
 			pm.cond.Broadcast()
 			pm.mu.Unlock()
 			return ErrFabricClosed
+		case <-t.f.dead[from].ch:
+			pm.mu.Lock()
+			pm.pulling = false
+			pm.cond.Broadcast()
+			pm.mu.Unlock()
+			return &PeerError{Rank: from, Op: "recv", Err: ErrPeerDead}
+		case <-t.f.dead[t.rank].ch:
+			pm.mu.Lock()
+			pm.pulling = false
+			pm.cond.Broadcast()
+			pm.mu.Unlock()
+			return &PeerError{Rank: t.rank, Op: "recv", Err: ErrPeerDead}
+		case <-timeoutC:
+			pm.mu.Lock()
+			pm.pulling = false
+			pm.cond.Broadcast()
+			pm.mu.Unlock()
+			return &PeerError{Rank: from, Op: "recv", Timeout: true, Err: errRecvNoMessage}
 		}
 	}
 }
+
+// errRecvNoMessage explains an inproc recv deadline expiry: no frame from
+// the peer arrived within the window.
+var errRecvNoMessage = errors.New("comm: no message within deadline")
 
 func (t *inprocTransport) Close() error { return nil }
 

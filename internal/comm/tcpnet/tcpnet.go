@@ -22,13 +22,29 @@ package tcpnet
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"a2sgd/internal/comm"
 	"a2sgd/internal/tensor"
 )
+
+// Config carries the optional transport knobs.
+type Config struct {
+	// IOTimeout, when > 0, bounds every socket operation — the handshake
+	// dial/accept/identify steps and each steady-state Send and Recv frame.
+	// Expiry surfaces as a *comm.PeerError{Timeout: true} naming the peer
+	// rank and operation. A Recv deadline that expires before any header
+	// byte arrived leaves the stream intact (the error is not sticky);
+	// expiry mid-frame corrupts the stream and fails all later operations
+	// on that peer. Zero (the default) preserves the historical behavior:
+	// block forever, a dead peer hangs the rank.
+	IOTimeout time.Duration
+}
 
 // peerState is the per-peer wire machinery: one lock per direction plus the
 // reusable framing buffers of the zero-allocation hot path.
@@ -46,6 +62,8 @@ type peerState struct {
 	iov    net.Buffers // {header, payload} iovec view consumed by writev
 	iovArr [2][]byte   // backing storage iov is rebuilt from each Send
 	wire   []byte      // fallback: staged little-endian payload
+
+	werr error // sticky write error (under wmu); a partial frame corrupts the stream
 
 	rmu     sync.Mutex  // guards the matcher state below
 	rcond   sync.Cond   // wakes waiting receivers after a stash/err/puller exit
@@ -69,6 +87,7 @@ type pendFrame struct {
 type Transport struct {
 	rank, size int
 	listener   net.Listener
+	ioTimeout  time.Duration
 
 	mu    sync.Mutex // guards conns/readers during setup and Close
 	conns []net.Conn
@@ -92,7 +111,12 @@ func (t *Transport) Addr() string { return t.listener.Addr().String() }
 // loopback interface and returns one Communicator per rank plus a shutdown
 // function. It is the single-process analogue of an mpirun over TCP.
 func NewLocalGroup(size int) ([]*comm.Communicator, func(), error) {
-	ts, shutdown, err := NewLocalMesh(size)
+	return NewLocalGroupConfig(size, Config{})
+}
+
+// NewLocalGroupConfig is NewLocalGroup with transport configuration.
+func NewLocalGroupConfig(size int, cfg Config) ([]*comm.Communicator, func(), error) {
+	ts, shutdown, err := NewLocalMeshConfig(size, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -107,6 +131,11 @@ func NewLocalGroup(size int) ([]*comm.Communicator, func(), error) {
 // transports — the layer the hot-path benchmarks drive directly to measure
 // framed send/receive without collective logic on top.
 func NewLocalMesh(size int) ([]*Transport, func(), error) {
+	return NewLocalMeshConfig(size, Config{})
+}
+
+// NewLocalMeshConfig is NewLocalMesh with transport configuration.
+func NewLocalMeshConfig(size int, cfg Config) ([]*Transport, func(), error) {
 	ts := make([]*Transport, size)
 	for r := 0; r < size; r++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -115,9 +144,10 @@ func NewLocalMesh(size int) ([]*Transport, func(), error) {
 		}
 		ts[r] = &Transport{
 			rank: r, size: size, listener: ln,
-			conns: make([]net.Conn, size),
-			peers: make([]peerState, size),
-			rbuf:  make([]*bufio.Reader, size),
+			ioTimeout: cfg.IOTimeout,
+			conns:     make([]net.Conn, size),
+			peers:     make([]peerState, size),
+			rbuf:      make([]*bufio.Reader, size),
 		}
 		ts[r].rpool.New = func() any { return new([]float32) }
 		for p := range ts[r].peers {
@@ -144,16 +174,25 @@ func NewLocalMesh(size int) ([]*Transport, func(), error) {
 		go func(t *Transport) {
 			defer wg.Done()
 			for i := 0; i < t.rank; i++ {
+				if t.ioTimeout > 0 {
+					if tl, ok := t.listener.(*net.TCPListener); ok {
+						_ = tl.SetDeadline(time.Now().Add(t.ioTimeout))
+					}
+				}
 				conn, err := t.listener.Accept()
 				if err != nil {
-					errc <- err
+					errc <- handshakeErr(-1, err)
 					return
+				}
+				if t.ioTimeout > 0 {
+					_ = conn.SetReadDeadline(time.Now().Add(t.ioTimeout))
 				}
 				var hdr [4]byte
 				if _, err := readFull(conn, hdr[:]); err != nil {
-					errc <- err
+					errc <- handshakeErr(-1, err)
 					return
 				}
+				_ = conn.SetReadDeadline(time.Time{})
 				peer := int(binary.LittleEndian.Uint32(hdr[:]))
 				if peer < 0 || peer >= t.size {
 					errc <- fmt.Errorf("tcpnet: bad handshake rank %d", peer)
@@ -169,17 +208,27 @@ func NewLocalMesh(size int) ([]*Transport, func(), error) {
 		go func(t *Transport) {
 			defer wg.Done()
 			for peer := t.rank + 1; peer < size; peer++ {
-				conn, err := net.Dial("tcp", addrs[peer])
+				var conn net.Conn
+				var err error
+				if t.ioTimeout > 0 {
+					conn, err = net.DialTimeout("tcp", addrs[peer], t.ioTimeout)
+				} else {
+					conn, err = net.Dial("tcp", addrs[peer])
+				}
 				if err != nil {
-					errc <- err
+					errc <- handshakeErr(peer, err)
 					return
+				}
+				if t.ioTimeout > 0 {
+					_ = conn.SetWriteDeadline(time.Now().Add(t.ioTimeout))
 				}
 				var hdr [4]byte
 				binary.LittleEndian.PutUint32(hdr[:], uint32(t.rank))
 				if _, err := conn.Write(hdr[:]); err != nil {
-					errc <- err
+					errc <- handshakeErr(peer, err)
 					return
 				}
+				_ = conn.SetWriteDeadline(time.Time{})
 				t.setConn(peer, conn)
 			}
 		}(ts[r])
@@ -237,6 +286,9 @@ func (t *Transport) Send(to, tag int, data []float32) error {
 	ps := &t.peers[to]
 	ps.wmu.Lock()
 	defer ps.wmu.Unlock()
+	if ps.werr != nil {
+		return ps.werr
+	}
 	binary.LittleEndian.PutUint32(ps.hdr[0:], uint32(tag))
 	binary.LittleEndian.PutUint32(ps.hdr[4:], uint32(len(data)))
 	var payload []byte
@@ -254,10 +306,35 @@ func (t *Transport) Send(to, tag int, data []float32) error {
 	// every Send — nothing here touches the allocator.
 	ps.iovArr[0], ps.iovArr[1] = ps.hdr[:], payload
 	ps.iov = ps.iovArr[:]
+	if t.ioTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(t.ioTimeout))
+	}
 	if _, err := ps.iov.WriteTo(conn); err != nil {
-		return fmt.Errorf("tcpnet: send to %d: %w", to, err)
+		// The frame may have left partially — the outgoing stream position
+		// is unknown either way, so every write error is sticky.
+		werr := error(fmt.Errorf("tcpnet: send to %d: %w", to, err))
+		if isTimeout(err) {
+			werr = &comm.PeerError{Rank: to, Op: "send", Timeout: true, Err: err}
+		}
+		ps.werr = werr
+		return werr
 	}
 	return nil
+}
+
+// isTimeout reports whether err is an I/O deadline expiry.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// handshakeErr wraps a mesh-setup failure as a typed peer error. peer is -1
+// on the accept side, where the dialer's identity is not yet known.
+func handshakeErr(peer int, err error) error {
+	return &comm.PeerError{Rank: peer, Op: "handshake", Timeout: isTimeout(err), Err: err}
 }
 
 // readPayload reads one n-element frame payload from the socket into dst:
@@ -285,7 +362,7 @@ func (t *Transport) readPayload(r *bufio.Reader, ps *peerState, dst []float32) e
 // frames for other in-flight tags are stashed in pooled transit buffers
 // until their receiver claims them.
 func (t *Transport) Recv(from, tag int, data []float32) error {
-	_, r, err := t.conn(from)
+	conn, r, err := t.conn(from)
 	if err != nil {
 		return err
 	}
@@ -321,9 +398,26 @@ func (t *Transport) Recv(from, tag int, data []float32) error {
 		ps.pulling = true
 		ps.rmu.Unlock()
 
-		if _, err := readFull(r, ps.rhdr[:]); err != nil {
+		if t.ioTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(t.ioTimeout))
+		}
+		if n0, err := readFull(r, ps.rhdr[:]); err != nil {
+			if n0 == 0 && isTimeout(err) {
+				// Deadline expired before any header byte arrived: the
+				// stream is intact, so the error names the slow peer but is
+				// NOT sticky — a later Recv (or a retried one) still works.
+				perr := &comm.PeerError{Rank: from, Op: "recv", Timeout: true, Err: err}
+				ps.rmu.Lock()
+				ps.pulling = false
+				ps.rcond.Broadcast()
+				ps.rmu.Unlock()
+				return perr
+			}
 			// A dead stream fails every receiver on this peer, now and later.
 			err = fmt.Errorf("tcpnet: recv from %d: %w", from, err)
+			if isTimeout(err) {
+				err = &comm.PeerError{Rank: from, Op: "recv", Timeout: true, Err: err}
+			}
 			ps.rmu.Lock()
 			ps.pulling = false
 			ps.rerr = err
@@ -341,11 +435,18 @@ func (t *Transport) Recv(from, tag int, data []float32) error {
 				ps.rmu.Unlock()
 				return fmt.Errorf("tcpnet: length mismatch from %d tag %d: got %d want %d", from, tag, n, len(data))
 			}
+			if t.ioTimeout > 0 {
+				_ = conn.SetReadDeadline(time.Now().Add(t.ioTimeout))
+			}
 			err := t.readPayload(r, ps, data)
 			ps.rmu.Lock()
 			ps.pulling = false
 			if err != nil {
+				// Mid-frame failure: the stream position is lost, sticky.
 				err = fmt.Errorf("tcpnet: recv payload from %d: %w", from, err)
+				if isTimeout(err) {
+					err = &comm.PeerError{Rank: from, Op: "recv", Timeout: true, Err: err}
+				}
 				ps.rerr = err
 			}
 			ps.rcond.Broadcast()
@@ -358,9 +459,15 @@ func (t *Transport) Recv(from, tag int, data []float32) error {
 			*bp = make([]float32, n)
 		}
 		stash := (*bp)[:n]
+		if t.ioTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(t.ioTimeout))
+		}
 		if err := t.readPayload(r, ps, stash); err != nil {
 			t.rpool.Put(bp)
 			err = fmt.Errorf("tcpnet: recv payload from %d: %w", from, err)
+			if isTimeout(err) {
+				err = &comm.PeerError{Rank: from, Op: "recv", Timeout: true, Err: err}
+			}
 			ps.rmu.Lock()
 			ps.pulling = false
 			ps.rerr = err
@@ -415,7 +522,12 @@ func readFull(r reader, buf []byte) (int, error) {
 // sockets down afterwards. The training runtime accepts it as a GroupRunner
 // to run whole experiments over a real network stack.
 func RunGroup(size int, body func(c *comm.Communicator) error) error {
-	cs, shutdown, err := NewLocalGroup(size)
+	return RunGroupConfig(size, Config{}, body)
+}
+
+// RunGroupConfig is RunGroup with transport configuration (I/O deadlines).
+func RunGroupConfig(size int, cfg Config, body func(c *comm.Communicator) error) error {
+	cs, shutdown, err := NewLocalGroupConfig(size, cfg)
 	if err != nil {
 		return err
 	}
