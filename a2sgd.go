@@ -45,6 +45,7 @@ import (
 	"a2sgd/internal/comm/tcpnet"
 	"a2sgd/internal/compress"
 	_ "a2sgd/internal/core" // registers a2sgd and its ablation variants
+	"a2sgd/internal/elastic"
 	"a2sgd/internal/models"
 	"a2sgd/internal/netsim"
 	"a2sgd/internal/plan"
@@ -275,6 +276,18 @@ type TrainConfig struct {
 	// Allreduce selects the dense/scalar allreduce algorithm: "auto"
 	// (default), "ring", or "recdouble".
 	Allreduce string
+	// CheckpointEvery delivers a full-state training snapshot every k global
+	// steps (in addition to the snapshot at the start of the run), bounding
+	// the work lost to a failure. 0 disables periodic snapshots.
+	CheckpointEvery int
+	// SnapshotPath persists every delivered snapshot to this file in the
+	// versioned A2SV format (written atomically: temp file + rename), so a
+	// later run can resume from the newest boundary via ResumePath.
+	SnapshotPath string
+	// ResumePath restores a run from an A2SV snapshot file instead of
+	// initializing from Seed. The snapshot's world size wins over Workers;
+	// Family, Seed and the step grid must match the snapshot's.
+	ResumePath string
 	// Schedule runs a pre-planned synchronization schedule (BuildSchedule's
 	// output) instead of the hand-tuned knobs: bucket boundaries, per-bucket
 	// specs, topology and overlap all come from the schedule, so Spec,
@@ -445,6 +458,20 @@ func clusterConfig(tc TrainConfig) (cluster.Config, error) {
 		LRScale:        tc.LRScale,
 		Concurrency:    tc.Concurrency,
 		Interleave:     tc.Interleave,
+	}
+	cfg.CheckpointEvery = tc.CheckpointEvery
+	if path := tc.SnapshotPath; path != "" {
+		cfg.SnapshotSink = func(rs *cluster.RunState) error {
+			return elastic.WriteSnapshotFile(path, rs)
+		}
+	}
+	if tc.ResumePath != "" {
+		rs, err := elastic.ReadSnapshotFile(tc.ResumePath)
+		if err != nil {
+			return cluster.Config{}, fmt.Errorf("a2sgd: ResumePath: %w", err)
+		}
+		cfg.Resume = rs
+		cfg.Workers = rs.World
 	}
 	if tc.Faults != "" {
 		sc, err := faultnet.Parse(tc.Faults)

@@ -49,7 +49,7 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|hierarchy|mixed|auto|hotpath|chaos|all")
+	exp := flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|table2|ablation|buckets|hierarchy|mixed|auto|hotpath|chaos|elastic|all")
 	maxN := flag.Int("maxn", 25_000_000, "largest parameter count for fig2")
 	scale := flag.Int("scale", 10, "divide paper parameter counts by this for fig4/fig5/table2/auto (1 = full)")
 	workersFlag := flag.String("workers", "2,4,8,16", "worker counts for fig3/fig4/fig5")
@@ -245,6 +245,14 @@ func main() {
 		// crash/stall scenarios must fail within their deadline, and the α–β
 		// delay scenarios report measured vs netsim-predicted slowdown.
 		return bench.Chaos(w, bench.ChaosConfig{Seed: *chaosSeed, TCP: *chaosTCP})
+	})
+
+	run("elastic", func() (any, error) {
+		// Elastic-recovery matrix: crash, preempt+rejoin and drain+resume
+		// through the membership-epoch supervisor, each checked bitwise
+		// against an uninterrupted fixed-world run resumed from the same
+		// resharded snapshot.
+		return bench.ElasticChaos(w, bench.ElasticConfig{Seed: *chaosSeed, TCP: *chaosTCP})
 	})
 
 	var hotRep *bench.HotPathReport

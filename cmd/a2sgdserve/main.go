@@ -1,0 +1,297 @@
+// Command a2sgdserve is the elastic training gateway: it supervises N
+// concurrent training jobs over one shared worker-slot pool, snapshots full
+// training state at checkpoint boundaries, recovers from rank crashes by
+// resharding onto the survivors, re-admits preempted ranks at the next
+// boundary, and drains to disk on SIGTERM so -resume can pick every job back
+// up from its last snapshot.
+//
+// Usage:
+//
+//	a2sgdserve -family fnn3 -spec a2sgd -workers 4 -epochs 2 -dir /tmp/ckpt
+//	a2sgdserve -jobs jobs.json -pool 8 -dir /tmp/ckpt
+//	a2sgdserve -jobs jobs.json -dir /tmp/ckpt -resume     # after a SIGTERM
+//	a2sgdserve -workers 4 -faults "preempt(rank=3, step=5)" -checkpoint-every 5
+//
+// jobs.json is an array of job objects:
+//
+//	[{"name": "mlp", "family": "fnn3", "spec": "a2sgd", "workers": 4,
+//	  "epochs": 2, "steps": 10, "checkpoint_every": 5},
+//	 {"name": "cnn", "family": "vgg16", "spec": "topk(density=0.01)",
+//	  "workers": 2, "replan": true}]
+//
+// Each job persists its newest snapshot to -dir/<name>.snap (atomic rewrite
+// in the versioned A2SV format); -resume restores any job whose snapshot
+// file exists and runs it to completion.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+
+	"a2sgd"
+	"a2sgd/internal/cluster"
+	"a2sgd/internal/comm/faultnet"
+	"a2sgd/internal/compress"
+	_ "a2sgd/internal/core" // registers a2sgd and its ablation variants
+	"a2sgd/internal/elastic"
+	"a2sgd/internal/plan"
+)
+
+// jobSpec is one job of the gateway's run set (one JSON object in -jobs).
+type jobSpec struct {
+	Name            string  `json:"name"`
+	Family          string  `json:"family"`
+	Spec            string  `json:"spec"`
+	Workers         int     `json:"workers"`
+	Epochs          int     `json:"epochs"`
+	Steps           int     `json:"steps"`
+	Batch           int     `json:"batch"`
+	Seed            uint64  `json:"seed"`
+	Momentum        float64 `json:"momentum"`
+	BucketBytes     int     `json:"bucket_bytes"`
+	CheckpointEvery int     `json:"checkpoint_every"`
+	Faults          string  `json:"faults"`
+	// Replan hands bucket boundaries and per-bucket specs to the cost-model
+	// planner, re-run at every membership epoch's world size.
+	Replan bool `json:"replan"`
+}
+
+func (js *jobSpec) defaults(i int) {
+	if js.Name == "" {
+		js.Name = fmt.Sprintf("job%d", i)
+	}
+	if js.Family == "" {
+		js.Family = "fnn3"
+	}
+	if js.Spec == "" {
+		js.Spec = "a2sgd"
+	}
+	if js.Workers <= 0 {
+		js.Workers = 2
+	}
+	if js.Epochs <= 0 {
+		js.Epochs = 1
+	}
+	if js.Steps <= 0 {
+		js.Steps = 10
+	}
+	if js.Batch <= 0 {
+		js.Batch = 8
+	}
+	if js.Seed == 0 {
+		js.Seed = 1
+	}
+	if js.CheckpointEvery <= 0 {
+		js.CheckpointEvery = 5
+	}
+}
+
+// jobOutcome is one job's terminal state, for the summary table.
+type jobOutcome struct {
+	name   string
+	result *elastic.RunResult
+	err    error
+}
+
+// buildJob assembles the elastic supervisor for one job spec.
+func buildJob(js jobSpec, snapPath string, resume, tcp bool, pool *elastic.Pool, drain <-chan struct{}) (*elastic.Job, error) {
+	if _, err := compress.ParseBuild(js.Spec, compress.DefaultOptions(4)); err != nil {
+		return nil, fmt.Errorf("job %s: spec: %w", js.Name, err)
+	}
+	cc := cluster.Config{
+		Workers: js.Workers, Family: js.Family,
+		Epochs: js.Epochs, StepsPerEpoch: js.Steps, BatchPerWorker: js.Batch,
+		Seed: js.Seed, Momentum: float32(js.Momentum),
+		CheckpointEvery: js.CheckpointEvery,
+	}
+	job := &elastic.Job{
+		TCP:   tcp,
+		Pool:  pool,
+		Drain: drain,
+		SnapshotSink: func(rs *cluster.RunState) error {
+			return elastic.WriteSnapshotFile(snapPath, rs)
+		},
+	}
+	if js.Replan {
+		if js.BucketBytes != 0 {
+			return nil, fmt.Errorf("job %s: replan derives the bucket plan — leave bucket_bytes unset", js.Name)
+		}
+		// The planner owns bucket boundaries and per-bucket specs; cur tracks
+		// the current epoch's schedule so rescheduled segments build the
+		// specs the supervisor just planned.
+		var mu sync.Mutex
+		var cur *plan.Schedule
+		job.Replan = func(world int) (*plan.Schedule, error) {
+			s, err := a2sgd.BuildSchedule(js.Family, a2sgd.PlanOptions{Workers: world, Pricer: a2sgd.IB100()})
+			if err == nil {
+				mu.Lock()
+				cur = s
+				mu.Unlock()
+			}
+			return s, err
+		}
+		cc.NewBucketAlgorithm = func(rank int, info compress.BucketInfo) compress.Algorithm {
+			mu.Lock()
+			s := cur
+			mu.Unlock()
+			o := compress.DefaultOptions(info.Params)
+			o.Seed = compress.BucketSeed(js.Seed, rank, info.Index)
+			a, err := compress.Build(s.Specs[info.Index], o)
+			if err != nil {
+				panic(fmt.Sprintf("a2sgdserve: planned spec failed to build: %v", err))
+			}
+			return a
+		}
+	} else {
+		cc.BucketBytes = js.BucketBytes
+		spec := js.Spec
+		seed := js.Seed
+		cc.NewBucketAlgorithm = func(rank int, info compress.BucketInfo) compress.Algorithm {
+			o := compress.DefaultOptions(info.Params)
+			o.Seed = compress.BucketSeed(seed, rank, info.Index)
+			a, err := compress.ParseBuild(spec, o)
+			if err != nil {
+				panic(fmt.Sprintf("a2sgdserve: pre-validated spec failed to build: %v", err))
+			}
+			return a
+		}
+	}
+	if js.Faults != "" {
+		sc, err := faultnet.Parse(js.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("job %s: faults: %w", js.Name, err)
+		}
+		job.Scenario = sc
+	}
+	if resume {
+		if _, err := os.Stat(snapPath); err == nil {
+			rs, err := elastic.ReadSnapshotFile(snapPath)
+			if err != nil {
+				return nil, fmt.Errorf("job %s: resume: %w", js.Name, err)
+			}
+			cc.Resume = rs
+			fmt.Printf("[%s] resuming from %s (step %d, world %d)\n", js.Name, snapPath, rs.Step, rs.World)
+		}
+	}
+	job.Config = cc
+	return job, nil
+}
+
+func main() {
+	jobsPath := flag.String("jobs", "", "JSON file with an array of job specs (overrides the single-job flags)")
+	family := flag.String("family", "fnn3", "single job: model family")
+	spec := flag.String("spec", "a2sgd", "single job: algorithm spec — registered: "+strings.Join(a2sgd.AlgorithmUsage(), ", "))
+	workers := flag.Int("workers", 4, "single job: data-parallel worker count")
+	epochs := flag.Int("epochs", 1, "single job: epochs")
+	steps := flag.Int("steps", 10, "single job: steps per epoch")
+	batch := flag.Int("batch", 8, "single job: batch per worker")
+	seed := flag.Uint64("seed", 1, "single job: experiment seed")
+	momentum := flag.Float64("momentum", 0.9, "single job: SGD momentum")
+	bucketBytes := flag.Int("bucket-bytes", 0, "single job: gradient bucket budget (0 = whole model)")
+	checkpointEvery := flag.Int("checkpoint-every", 5, "single job: snapshot every k global steps")
+	faults := flag.String("faults", "", "single job: fault scenario, e.g. 'deadline(2s) preempt(rank=3, step=5)'")
+	replan := flag.Bool("replan", false, "single job: re-plan the schedule at every membership epoch's world size")
+	poolN := flag.Int("pool", 8, "shared worker-slot pool across all jobs")
+	dir := flag.String("dir", ".", "snapshot directory (-dir/<name>.snap per job)")
+	resume := flag.Bool("resume", false, "resume every job whose snapshot file exists")
+	transport := flag.String("transport", "inproc", "worker fabric: inproc|tcp")
+	flag.Parse()
+
+	var specs []jobSpec
+	if *jobsPath != "" {
+		blob, err := os.ReadFile(*jobsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jobs:", err)
+			os.Exit(2)
+		}
+		if err := json.Unmarshal(blob, &specs); err != nil {
+			fmt.Fprintln(os.Stderr, "jobs:", err)
+			os.Exit(2)
+		}
+		if len(specs) == 0 {
+			fmt.Fprintln(os.Stderr, "jobs: empty job list")
+			os.Exit(2)
+		}
+	} else {
+		specs = []jobSpec{{
+			Family: *family, Spec: *spec, Workers: *workers,
+			Epochs: *epochs, Steps: *steps, Batch: *batch,
+			Seed: *seed, Momentum: *momentum, BucketBytes: *bucketBytes,
+			CheckpointEvery: *checkpointEvery, Faults: *faults, Replan: *replan,
+		}}
+	}
+	names := map[string]bool{}
+	for i := range specs {
+		specs[i].defaults(i)
+		if names[specs[i].Name] {
+			fmt.Fprintf(os.Stderr, "jobs: duplicate job name %q\n", specs[i].Name)
+			os.Exit(2)
+		}
+		names[specs[i].Name] = true
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "dir:", err)
+		os.Exit(2)
+	}
+
+	// SIGTERM/SIGINT drains: every job stops at its next checkpoint boundary
+	// with a final on-disk snapshot, and a later -resume run picks it up.
+	drain := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sigs
+		fmt.Printf("received %v: draining to checkpoint boundaries\n", s)
+		close(drain)
+	}()
+
+	pool := elastic.NewPool(*poolN)
+	outcomes := make([]jobOutcome, len(specs))
+	var wg sync.WaitGroup
+	for i, js := range specs {
+		snapPath := filepath.Join(*dir, js.Name+".snap")
+		job, err := buildJob(js, snapPath, *resume, *transport == "tcp", pool, drain)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			rr, err := job.Run()
+			outcomes[i] = jobOutcome{name: name, result: rr, err: err}
+		}(i, js.Name)
+	}
+	wg.Wait()
+	signal.Stop(sigs)
+
+	failed := 0
+	for _, oc := range outcomes {
+		switch {
+		case oc.err != nil:
+			failed++
+			fmt.Printf("[%s] FAILED: %v\n", oc.name, oc.err)
+		case oc.result.Paused:
+			fmt.Printf("[%s] paused at step %d (world %d), snapshot persisted — rerun with -resume\n",
+				oc.name, oc.result.Snapshot.Step, oc.result.Snapshot.World)
+		default:
+			res := oc.result.Result
+			last := res.Epochs[len(res.Epochs)-1]
+			fmt.Printf("[%s] done: %d epochs, final loss %.4f, restarts %d\n",
+				oc.name, len(res.Epochs), last.Loss, oc.result.Restarts)
+		}
+		for _, e := range oc.result.Events {
+			fmt.Printf("[%s]   epoch %d @ step %d, world %d: %s\n", oc.name, e.Epoch, e.Step, e.World, e.Reason)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

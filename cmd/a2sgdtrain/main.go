@@ -67,6 +67,9 @@ func main() {
 	interleave := flag.Bool("interleave", false, "launch bucket exchanges from inside the backward pass (requires -overlap)")
 	topology := flag.Int("topology", 0, "two-level hierarchy width in ranks per node (0/1 = flat)")
 	auto := flag.Bool("auto", false, "plan buckets, per-bucket specs and topology from the cost model instead of the knobs above")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "snapshot full training state every k global steps (0 = off)")
+	snapshotPath := flag.String("snapshot", "", "persist every snapshot to this A2SV file (atomic rewrite)")
+	resumePath := flag.String("resume", "", "resume from an A2SV snapshot file (its world size wins over -workers)")
 	fabricName := flag.String("fabric", "ib100", "network model the -auto planner prices: ib100|tcp10g|nvlink+ib100|nvlink+tcp10g")
 	flag.Parse()
 
@@ -122,6 +125,9 @@ func main() {
 	// planned schedule.
 	tc.Concurrency = *concurrency
 	tc.Interleave = *interleave
+	tc.CheckpointEvery = *checkpointEvery
+	tc.SnapshotPath = *snapshotPath
+	tc.ResumePath = *resumePath
 
 	res, err := a2sgd.Train(tc)
 	if err != nil {

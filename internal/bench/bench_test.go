@@ -384,3 +384,20 @@ func TestSpecWithDensityLowersThroughWrappers(t *testing.T) {
 		t.Errorf("zero override changed spec: %q", got)
 	}
 }
+
+func TestElasticChaosMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := ElasticChaos(&buf, ElasticConfig{Seed: 11})
+	if err != nil {
+		t.Fatalf("ElasticChaos: %v\n%s", err, buf.String())
+	}
+	if len(rep.Cases) != 3 || rep.Failures != 0 {
+		t.Fatalf("expected 3 passing cases, got %d with %d failures\n%s",
+			len(rep.Cases), rep.Failures, buf.String())
+	}
+	for _, cse := range rep.Cases {
+		if !cse.BitwiseEqual {
+			t.Errorf("%s: elastic trajectory diverged from its fixed-world reference", cse.Name)
+		}
+	}
+}

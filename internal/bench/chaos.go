@@ -118,9 +118,11 @@ type chaosScenario struct {
 
 // predictSlowdown prices one run's communication on the given network model:
 // steps × the serial per-bucket sync of the run's recorded payloads, plus the
-// setup-broadcast and final dense-allreduce epilogues. The faulted inproc
-// fabric's only cost IS the injected α–β sleep, so this is the whole wall-
-// clock slowdown the scenario should add to a fault-free run.
+// setup-broadcast and final dense-allreduce epilogues — each priced under its
+// own collective's law (the broadcast is a ⌈log2 p⌉-round tree, not an
+// allreduce, and the dense allreduce follows the runtime's length cutover).
+// The faulted inproc fabric's only cost IS the injected α–β sleep, so this is
+// the whole wall-clock slowdown the scenario should add to a fault-free run.
 func predictSlowdown(pr netsim.Pricer, base *cluster.Result, steps, p int) float64 {
 	kinds := base.BucketExchangeKinds
 	var perStep float64
@@ -132,7 +134,7 @@ func predictSlowdown(pr netsim.Pricer, base *cluster.Result, steps, p int) float
 		perStep += pr.SyncTime(k, bb, p)
 	}
 	dense := int64(4 * base.NumParams)
-	epilogue := 2 * pr.SyncTime(netsim.ExchangeAllreduce, dense, p)
+	epilogue := pr.BroadcastTime(dense, p) + pr.SyncTime(netsim.ExchangeAllreduce, dense, p)
 	return float64(steps)*perStep + epilogue
 }
 

@@ -19,10 +19,85 @@ import (
 	"a2sgd/internal/tensor"
 )
 
+// Membership is a dynamic view of the worker group, maintained by an elastic
+// supervisor across rescale events. Train samples it once at entry — the
+// world size is fixed for the duration of one Train call (one membership
+// epoch); growing or shrinking means checkpointing, resharding and calling
+// Train again at the new size.
+type Membership interface {
+	// WorldSize returns the current live worker count.
+	WorldSize() int
+	// Epoch returns the membership epoch — incremented every time the live
+	// set changes. Recorded in Result for provenance.
+	Epoch() int
+}
+
+// ErrPaused is returned (by every rank) when a run stops at a checkpoint
+// boundary before completing — because StopStep was reached or the Drain
+// channel was closed. The final snapshot delivered to SnapshotSink holds
+// everything needed to resume. It wraps comm.ErrGroupStop so group runners
+// join the remaining ranks instead of fail-fast tearing the fabric down
+// under the pause barrier.
+var ErrPaused error = pausedError{}
+
+type pausedError struct{}
+
+func (pausedError) Error() string { return "cluster: training paused at a checkpoint boundary" }
+func (pausedError) Unwrap() error { return comm.ErrGroupStop }
+
+// RunState is a full-fidelity snapshot of a training run at a step boundary:
+// resuming from it reproduces the uninterrupted run bitwise (same world size
+// and bucket plan) or deterministically (after resharding). It is captured by
+// the step loop at checkpoint boundaries and consumed via Config.Resume.
+type RunState struct {
+	// Family, Seed, Epochs and StepsPerEpoch echo the originating Config —
+	// a resume must match them.
+	Family                string
+	Seed                  uint64
+	Epochs, StepsPerEpoch int
+	// Step is the boundary the snapshot was taken at: steps [0, Step) are
+	// complete and the resumed run executes steps [Step, Epochs·StepsPerEpoch).
+	Step int
+	// World is the worker count the snapshot was captured at, NumParams the
+	// flattened parameter count and Bounds the bucket boundaries in effect
+	// (compress.RemapStates re-buckets algorithm state when a resumed run
+	// plans different bounds).
+	World     int
+	NumParams int
+	Bounds    []int
+	// History is rank 0's per-epoch record up to the boundary.
+	History []EpochStats
+	// Workers holds one entry per rank.
+	Workers []*WorkerState
+}
+
+// WorkerState is one rank's slice of a RunState.
+type WorkerState struct {
+	Rank int
+	// Params and ModelState are the flattened weights and non-learnable
+	// model state (batch-norm running statistics), positionally serialized.
+	Params     []float32
+	ModelState []float32
+	// Velocity is the optimizer's momentum, flattened in params order.
+	Velocity []float32
+	// SampleRNG is the rank's data-sampling RNG state.
+	SampleRNG [4]uint64
+	// LossSum is the rank's running loss accumulator within the current
+	// epoch (feeds rank 0's EpochStats when resuming mid-epoch).
+	LossSum float64
+	// Buckets is the per-bucket algorithm state (error feedback, DGC
+	// accumulators, RNG streams), parallel to RunState.Bounds.
+	Buckets []compress.State
+}
+
 // Config describes one distributed training run.
 type Config struct {
-	// Workers is the data-parallel width P.
+	// Workers is the data-parallel width P. When Membership is non-nil it is
+	// overridden by the membership's current world size.
 	Workers int
+	// Membership, when non-nil, supplies the worker count dynamically (one
+	// sample per Train call) and tags the Result with the membership epoch.
+	Membership Membership
 	// Family selects the model family ("fnn3", "vgg16", "resnet20", "lstm").
 	Family string
 	// NewAlgorithm builds the per-worker synchronization algorithm. The
@@ -109,6 +184,33 @@ type Config struct {
 	// Checkpoint, when non-nil, receives the final synchronized model
 	// weights (rank 0, nn checkpoint format) after training completes.
 	Checkpoint io.Writer
+	// SnapshotSink, when non-nil, receives full-state snapshots (rank 0,
+	// after a group-wide barrier): one at the run's start (fresh runs only),
+	// one every CheckpointEvery steps, and one at a StopStep/Drain pause.
+	// The sink must not retain the RunState past the call unless it copies
+	// it — though every slice inside is deep-copied from live state, so
+	// retaining is in fact safe; the elastic runtime does.
+	SnapshotSink func(*RunState) error
+	// CheckpointEvery takes a snapshot at every multiple of this many global
+	// steps (0 disables periodic snapshots; the initial and pause snapshots
+	// still fire when SnapshotSink is set).
+	CheckpointEvery int
+	// Resume, when non-nil, restores a RunState instead of initializing
+	// fresh: weights, optimizer and RNG state come from the snapshot (the
+	// rank-0 setup broadcast is skipped) and the loop starts at Resume.Step.
+	// The snapshot must have been captured — or resharded — at this run's
+	// worker count.
+	Resume *RunState
+	// StopStep, when > 0, pauses the run at that global-step boundary:
+	// a snapshot is delivered to SnapshotSink and every rank returns
+	// ErrPaused. The elastic runtime uses it to admit joiners at a
+	// deterministic boundary.
+	StopStep int
+	// Drain, when non-nil, is polled by rank 0 at checkpoint boundaries;
+	// once it is closed the group snapshots and returns ErrPaused. The
+	// drain decision is broadcast from rank 0, so all ranks agree without
+	// changing any training arithmetic.
+	Drain <-chan struct{}
 }
 
 // EpochStats reports one epoch's training loss and held-out metric.
@@ -128,6 +230,9 @@ type Result struct {
 	NumParams int
 	Metric    models.Metric
 	Epochs    []EpochStats
+	// MembershipEpoch is the elastic membership epoch the run executed under
+	// (0 for static runs).
+	MembershipEpoch int
 
 	// Cost components, averaged per training step (rank 0).
 	AvgComputeSec float64 // forward + backward
@@ -298,6 +403,9 @@ func bucketInfos(plan nn.BucketPlan) []compress.BucketInfo {
 
 func (c *Config) defaults() Config {
 	cfg := *c
+	if cfg.Membership != nil {
+		cfg.Workers = cfg.Membership.WorldSize()
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
@@ -360,6 +468,27 @@ func Train(c Config) (*Result, error) {
 	if cfg.Interleave && !overlap {
 		return nil, fmt.Errorf("cluster: Interleave requires Overlap")
 	}
+	totalSteps := cfg.Epochs * cfg.StepsPerEpoch
+	if rs := cfg.Resume; rs != nil {
+		if rs.Family != cfg.Family {
+			return nil, fmt.Errorf("cluster: snapshot is for family %q, run configured for %q", rs.Family, cfg.Family)
+		}
+		if rs.Seed != cfg.Seed {
+			return nil, fmt.Errorf("cluster: snapshot seed %d != run seed %d", rs.Seed, cfg.Seed)
+		}
+		if rs.StepsPerEpoch != cfg.StepsPerEpoch {
+			return nil, fmt.Errorf("cluster: snapshot StepsPerEpoch %d != run %d", rs.StepsPerEpoch, cfg.StepsPerEpoch)
+		}
+		if len(rs.Workers) != cfg.Workers || rs.World != cfg.Workers {
+			return nil, fmt.Errorf("cluster: snapshot holds %d workers, run configured for %d (reshard it first)", rs.World, cfg.Workers)
+		}
+		if rs.Step < 0 || rs.Step > totalSteps {
+			return nil, fmt.Errorf("cluster: snapshot step %d outside run bounds [0, %d]", rs.Step, totalSteps)
+		}
+	}
+	if cfg.StopStep < 0 || (cfg.StopStep > 0 && cfg.StopStep >= totalSteps) {
+		return nil, fmt.Errorf("cluster: StopStep %d outside (0, %d)", cfg.StopStep, totalSteps)
+	}
 
 	img, txt, err := data.ForFamily(cfg.Family, cfg.Seed)
 	if err != nil {
@@ -368,9 +497,19 @@ func Train(c Config) (*Result, error) {
 
 	res := &Result{Family: cfg.Family, Workers: cfg.Workers, HistIters: cfg.HistIters}
 	var resMu sync.Mutex
+	if cfg.Membership != nil {
+		res.MembershipEpoch = cfg.Membership.Epoch()
+	}
 	// Per-rank sent bytes, collected after the last step (disjoint indices,
 	// read only after the group joins) and averaged into the result.
 	perRankSent := make([]int64, cfg.Workers)
+	// Per-rank snapshot slots: at a checkpoint boundary every rank deep-copies
+	// its state into its slot, the group barriers, and rank 0 assembles the
+	// RunState for the sink. Disjoint indices; the barrier orders the writes
+	// before rank 0's read. All supported group runners (in-process channels,
+	// loopback TCP, the fault mesh) run every rank in this process, so the
+	// shared slice is visible to all of them.
+	snapSlots := make([]*WorkerState, cfg.Workers)
 
 	runGroup := cfg.GroupRunner
 	if runGroup == nil {
@@ -441,14 +580,18 @@ func Train(c Config) (*Result, error) {
 		bounds := bucketed.Bounds()
 		nb := bucketed.NumBuckets()
 
-		// Broadcast rank 0's weights so replicas start identical even if a
-		// model family ever gains non-deterministic init.
-		w := make([]float32, n)
-		model.GatherParams(w)
-		if err := cm.Broadcast(w, 0); err != nil {
-			return err
+		if cfg.Resume == nil {
+			// Broadcast rank 0's weights so replicas start identical even if
+			// a model family ever gains non-deterministic init.
+			w := make([]float32, n)
+			model.GatherParams(w)
+			if err := cm.Broadcast(w, 0); err != nil {
+				return err
+			}
+			model.ScatterParams(w)
+		} else if cfg.Resume.NumParams != n {
+			return fmt.Errorf("cluster: snapshot has %d params, model %s has %d", cfg.Resume.NumParams, cfg.Family, n)
 		}
-		model.ScatterParams(w)
 		// The setup broadcast is not part of the per-step algorithm cost.
 		cm.ResetTraffic()
 
@@ -582,13 +725,120 @@ func Train(c Config) (*Result, error) {
 		for _, it := range cfg.HistIters {
 			histAt[it] = true
 		}
-		globalStep := 0
+		startStep := 0
+		var lossSum float64
+		if rs := cfg.Resume; rs != nil {
+			ws := rs.Workers[rank]
+			if ws == nil || len(ws.Params) != n {
+				return fmt.Errorf("cluster: snapshot worker %d does not hold %d params", rank, n)
+			}
+			model.ScatterParams(ws.Params)
+			if sl := model.StateLen(); sl > 0 && len(ws.ModelState) == sl {
+				model.ScatterState(ws.ModelState)
+			}
+			if len(ws.Velocity) == n {
+				opt.ScatterVelocity(model.Params(), ws.Velocity)
+			}
+			sampleRNG.SetState(ws.SampleRNG)
+			if len(rs.Bounds) >= 2 {
+				bucketed.LoadStates(compress.RemapStates(ws.Buckets, rs.Bounds, bounds))
+			}
+			startStep = rs.Step
+			lossSum = ws.LossSum
+			if rank == 0 {
+				epochs = append(epochs, rs.History...)
+			}
+		}
+		globalStep := startStep
 		steps := 0
 
-		for epoch := 0; epoch < cfg.Epochs; epoch++ {
-			lr := lrSched.LR(epoch, cfg.Epochs) * lrScale
-			var lossSum float64
-			for s := 0; s < cfg.StepsPerEpoch; s++ {
+		// captureState deep-copies this rank's full training state; the
+		// snapshot stays valid while the rank trains on.
+		captureState := func() *WorkerState {
+			ws := &WorkerState{Rank: rank, SampleRNG: sampleRNG.State(), LossSum: lossSum}
+			ws.Params = make([]float32, n)
+			model.GatherParams(ws.Params)
+			if sl := model.StateLen(); sl > 0 {
+				ws.ModelState = make([]float32, sl)
+				model.GatherState(ws.ModelState)
+			}
+			ws.Velocity = make([]float32, n)
+			opt.GatherVelocity(model.Params(), ws.Velocity)
+			ws.Buckets = bucketed.SaveStates()
+			return ws
+		}
+		// deliverSnapshot captures every rank's state at boundary step (all
+		// ranks call it collectively), barriers so the slot writes are
+		// ordered before rank 0's read, and hands rank 0's assembled
+		// RunState to the sink.
+		deliverSnapshot := func(step int) error {
+			snapSlots[rank] = captureState()
+			if err := cm.Barrier(); err != nil {
+				return fmt.Errorf("cluster: snapshot barrier at step %d: %w", step, err)
+			}
+			if rank != 0 {
+				return nil
+			}
+			rs := &RunState{
+				Family: cfg.Family, Seed: cfg.Seed,
+				Epochs: cfg.Epochs, StepsPerEpoch: cfg.StepsPerEpoch,
+				Step: step, World: cfg.Workers, NumParams: n,
+				Bounds:  append([]int(nil), bounds...),
+				History: append([]EpochStats(nil), epochs...),
+				Workers: append([]*WorkerState(nil), snapSlots...),
+			}
+			if err := cfg.SnapshotSink(rs); err != nil {
+				return fmt.Errorf("cluster: snapshot sink at step %d: %w", step, err)
+			}
+			return nil
+		}
+
+		var drainFlag [1]float32
+		var lr float64
+		for g := startStep; ; g++ {
+			// g is a step boundary: steps [0, g) are complete on every rank.
+			// Pause/snapshot decisions happen here so a delivered snapshot is
+			// always at a clean boundary.
+			pause := cfg.StopStep > 0 && g == cfg.StopStep
+			if cfg.Drain != nil && !pause && g > startStep && g < totalSteps &&
+				(cfg.CheckpointEvery <= 0 || g%cfg.CheckpointEvery == 0) {
+				drainFlag[0] = 0
+				if rank == 0 {
+					select {
+					case <-cfg.Drain:
+						drainFlag[0] = 1
+					default:
+					}
+				}
+				if err := cm.Broadcast(drainFlag[:], 0); err != nil {
+					return fmt.Errorf("cluster: drain poll at step %d: %w", g, err)
+				}
+				pause = drainFlag[0] != 0
+			}
+			if cfg.SnapshotSink != nil {
+				snap := pause ||
+					(g == startStep && cfg.Resume == nil) ||
+					(g > startStep && g < totalSteps && cfg.CheckpointEvery > 0 && g%cfg.CheckpointEvery == 0)
+				if snap {
+					if err := deliverSnapshot(g); err != nil {
+						return err
+					}
+				}
+			}
+			if pause {
+				return ErrPaused
+			}
+			if g == totalSteps {
+				break
+			}
+			if g == startStep || g%cfg.StepsPerEpoch == 0 {
+				lr = lrSched.LR(g/cfg.StepsPerEpoch, cfg.Epochs) * lrScale
+				if g%cfg.StepsPerEpoch == 0 {
+					lossSum = 0
+				}
+			}
+			globalStep = g
+			{
 				var batch models.Batch
 				if img != nil {
 					batch = img.Sample(sampleRNG, cfg.BatchPerWorker)
@@ -726,13 +976,12 @@ func Train(c Config) (*Result, error) {
 				}
 				opt.Step(model.Params(), lr)
 				stepSec += time.Since(t0).Seconds()
-				globalStep++
 				steps++
 			}
-			if rank == 0 {
+			if (g+1)%cfg.StepsPerEpoch == 0 && rank == 0 {
 				evalLoss, metric := model.Eval(evalSet)
 				epochs = append(epochs, EpochStats{
-					Epoch: epoch, Loss: lossSum / float64(cfg.StepsPerEpoch),
+					Epoch: g / cfg.StepsPerEpoch, Loss: lossSum / float64(cfg.StepsPerEpoch),
 					EvalLoss: evalLoss, Metric: metric, LR: lr,
 				})
 			}
@@ -792,7 +1041,12 @@ func Train(c Config) (*Result, error) {
 	for _, b := range perRankSent {
 		sentSum += b
 	}
-	steps := cfg.Epochs * cfg.StepsPerEpoch
-	res.BytesPerWorkerPerStep = float64(sentSum) / float64(cfg.Workers) / float64(steps)
+	steps := totalSteps
+	if cfg.Resume != nil {
+		steps -= cfg.Resume.Step
+	}
+	if steps > 0 {
+		res.BytesPerWorkerPerStep = float64(sentSum) / float64(cfg.Workers) / float64(steps)
+	}
 	return res, nil
 }

@@ -26,6 +26,14 @@ import (
 // crashed or been killed.
 var ErrPeerDead = errors.New("comm: peer dead")
 
+// ErrGroupStop marks a cooperative, group-wide stop: every rank returns an
+// error wrapping it from the same synchronization point (e.g. a training
+// pause at a checkpoint boundary). Group runners must join the remaining
+// ranks instead of fail-fast tearing the fabric down — the first rank out of
+// the final collective would otherwise close the fabric under its peers'
+// still-draining barrier messages.
+var ErrGroupStop = errors.New("comm: cooperative group stop")
+
 // PeerError is a failure scoped to one peer link operation.
 type PeerError struct {
 	// Rank is the peer whose link failed (-1 when unknown, e.g. during the

@@ -263,7 +263,9 @@ func (t *transport) AdvanceStep() {
 			continue
 		}
 		switch r.Kind {
-		case RuleCrash:
+		case RuleCrash, RulePreempt:
+			// A preemption is a crash at the transport level; only the elastic
+			// supervisor treats the two differently (preempted ranks rejoin).
 			if !t.m.crashed[t.rank].Swap(true) && t.m.kill != nil {
 				t.m.kill(t.rank)
 			}
@@ -478,8 +480,13 @@ func runBody(sc *Scenario, ts []comm.Transport, teardown func(), body func(c *co
 				errs[r] = fmt.Errorf("rank %d: %w", r, err)
 				// Unblock the peers: without this, survivors of a crashed or
 				// diverged rank would sit in Recv until their deadline (or
-				// forever with none configured).
-				once.Do(teardown)
+				// forever with none configured). A cooperative stop
+				// (comm.ErrGroupStop) is the exception — every rank is about
+				// to return from the same boundary, and tearing down here
+				// would race the stragglers' pause barrier.
+				if !errors.Is(err, comm.ErrGroupStop) {
+					once.Do(teardown)
+				}
 			}
 		}(r)
 	}

@@ -20,6 +20,7 @@ import (
 //	straggler(rank=2, x3)                    // multiply delays touching rank
 //	crash(rank=3, step=5)                    // one-shot rank failure
 //	stall(rank=3, step=5)                    // rank goes dark, no error
+//	preempt(rank=3, step=5)                  // crash that may rejoin (elastic)
 //	flap(rank=1, period=40ms, duty=0.8)      // link up duty fraction of period
 //	partition(groups=0-1|2-3, after=30ms, dur=25ms)
 //	seed(42) deadline(500ms) retry(attempts=10, backoff=1ms, max=50ms)
@@ -44,12 +45,19 @@ const (
 	RuleStall
 	RuleFlap
 	RulePartition
+	// RulePreempt is a crash the orchestrator announced in advance: at the
+	// transport level it behaves exactly like RuleCrash (the rank's transport
+	// is killed, peers observe a *comm.PeerError), but the elastic supervisor
+	// reads the kind as "this rank will come back" and re-admits it at the
+	// next checkpoint boundary instead of shrinking permanently.
+	RulePreempt
 )
 
 var ruleNames = map[RuleKind]string{
 	RuleDelay: "delay", RuleBandwidth: "bw", RuleLoss: "loss", RuleDup: "dup",
 	RuleReorder: "reorder", RuleStraggler: "straggler", RuleCrash: "crash",
 	RuleStall: "stall", RuleFlap: "flap", RulePartition: "partition",
+	RulePreempt: "preempt",
 }
 
 // Link selects the undirected rank pairs a rule applies to; -1 is the
@@ -126,7 +134,7 @@ type Scenario struct {
 // to the fault-free run.
 func (s *Scenario) Recoverable() bool {
 	for _, r := range s.Rules {
-		if r.Kind == RuleCrash || r.Kind == RuleStall {
+		if r.Kind == RuleCrash || r.Kind == RuleStall || r.Kind == RulePreempt {
 			return false
 		}
 	}
@@ -149,7 +157,7 @@ func (s *Scenario) applyDefaults() {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
-	if s.Deadline == 0 && (s.has(RuleCrash) || s.has(RuleStall)) {
+	if s.Deadline == 0 && (s.has(RuleCrash) || s.has(RuleStall) || s.has(RulePreempt)) {
 		s.Deadline = 2 * time.Second
 	}
 	if s.Retry.Attempts == 0 && (s.has(RuleFlap) || s.has(RulePartition)) {
@@ -428,10 +436,13 @@ func (s *Scenario) parseRule(name, args string) error {
 		if a.err == nil && r.Factor <= 1 {
 			a.err = fmt.Errorf("faultnet: straggler requires a factor > 1 (x3 or x=3)")
 		}
-	case "crash", "stall":
+	case "crash", "stall", "preempt":
 		r.Kind = RuleCrash
-		if name == "stall" {
+		switch name {
+		case "stall":
 			r.Kind = RuleStall
+		case "preempt":
+			r.Kind = RulePreempt
 		}
 		needRank()
 		r.Step = a.int("step", -1)
@@ -456,7 +467,7 @@ func (s *Scenario) parseRule(name, args string) error {
 		r.After = a.dur("after", 0)
 		r.Dur = a.dur("dur", 20*time.Millisecond)
 	default:
-		return fmt.Errorf("faultnet: unknown rule %q (want delay/bw/loss/dup/reorder/straggler/crash/stall/flap/partition/seed/deadline/retry)", name)
+		return fmt.Errorf("faultnet: unknown rule %q (want delay/bw/loss/dup/reorder/straggler/crash/stall/preempt/flap/partition/seed/deadline/retry)", name)
 	}
 	if err := a.finish(name); err != nil {
 		return err
@@ -515,7 +526,7 @@ func (r Rule) String() string {
 	case RuleStraggler:
 		add("rank=%d", r.Rank)
 		add("x=%g", r.Factor)
-	case RuleCrash, RuleStall:
+	case RuleCrash, RuleStall, RulePreempt:
 		add("rank=%d", r.Rank)
 		add("step=%d", r.Step)
 	case RuleFlap:

@@ -328,7 +328,12 @@ func RunGroup(size int, body func(c *Communicator) error) error {
 			defer wg.Done()
 			if err := body(c); err != nil {
 				errs <- err
-				f.Shutdown() // unblock peers so the group can't hang
+				// Unblock peers so the group can't hang — except on a
+				// cooperative stop, where every rank is about to return on
+				// its own and tearing down would race their last collective.
+				if !errors.Is(err, ErrGroupStop) {
+					f.Shutdown()
+				}
 			}
 		}(c)
 	}

@@ -540,7 +540,12 @@ func RunGroupConfig(size int, cfg Config, body func(c *comm.Communicator) error)
 			defer wg.Done()
 			if err := body(c); err != nil {
 				errs <- err
-				shutdown() // unblock peers
+				// Unblock peers — except on a cooperative stop, where every
+				// rank returns on its own and teardown would race their
+				// last collective.
+				if !errors.Is(err, comm.ErrGroupStop) {
+					shutdown()
+				}
 			}
 		}(c)
 	}

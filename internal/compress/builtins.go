@@ -36,7 +36,7 @@ func sparsifierCost(encSecPerElem float64) func(o Options, args BuildArgs, _ []C
 			EncSecPerElem: encSecPerElem,
 			BytesPerElem:  4 * d,
 			FixedBytes:    4, // the k >= 1 floor
-			Kind:          netsim.ExchangeAllgather,
+			Kind:          netsim.ExchangeAllgatherV,
 		}
 	}
 }

@@ -290,7 +290,7 @@ func TestGaussianKSelectsApproxK(t *testing.T) {
 	if gk.Name() != "gaussiank" {
 		t.Error("name")
 	}
-	if gk.ExchangeKind() != netsim.ExchangeAllgather {
+	if gk.ExchangeKind() != netsim.ExchangeAllgatherV {
 		t.Error("kind")
 	}
 	if gk.PayloadBytes(n) != int64(4*k) {

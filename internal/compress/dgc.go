@@ -66,7 +66,7 @@ func (d *DGC) Exchange(p Payload, g []float32, c *comm.Communicator) error {
 }
 
 // ExchangeKind implements Algorithm.
-func (d *DGC) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgather }
+func (d *DGC) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgatherV }
 
 // PayloadBytes implements Algorithm: 32k bits (value accounting).
 func (d *DGC) PayloadBytes(n int) int64 { return int64(4 * d.k) }
@@ -77,4 +77,18 @@ func (d *DGC) Reset() {
 		d.u[i] = 0
 		d.v[i] = 0
 	}
+}
+
+// SaveState implements StateSaver: both accumulators, element-aligned.
+func (d *DGC) SaveState() State {
+	var s State
+	s.setVec("dgc.u", d.u)
+	s.setVec("dgc.v", d.v)
+	return s
+}
+
+// LoadState implements StateLoader.
+func (d *DGC) LoadState(s State) {
+	s.vec("dgc.u", d.u)
+	s.vec("dgc.v", d.v)
 }

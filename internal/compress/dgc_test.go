@@ -16,7 +16,7 @@ func TestDGCMetadata(t *testing.T) {
 	if d.K() != 10 {
 		t.Errorf("k = %d", d.K())
 	}
-	if d.ExchangeKind() != netsim.ExchangeAllgather {
+	if d.ExchangeKind() != netsim.ExchangeAllgatherV {
 		t.Error("kind")
 	}
 	if d.PayloadBytes(10000) != 40 {

@@ -235,3 +235,9 @@ func (e *QSGDElias) PayloadBytes(n int) int64 {
 
 // Reset implements Algorithm.
 func (e *QSGDElias) Reset() {}
+
+// SaveState implements StateSaver: the wrapped quantizer's RNG stream.
+func (e *QSGDElias) SaveState() State { return e.q.SaveState() }
+
+// LoadState implements StateLoader.
+func (e *QSGDElias) LoadState(s State) { e.q.LoadState(s) }

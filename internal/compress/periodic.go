@@ -76,3 +76,26 @@ func (p *Periodic) Reset() {
 	p.step = 0
 	p.inner.Reset()
 }
+
+// SaveState implements StateSaver: the step-phase counter plus the inner
+// algorithm's state (its keys merged under the same namespace — the wrapper
+// and its inner instance never collide on key names).
+func (p *Periodic) SaveState() State {
+	var s State
+	if sv, ok := p.inner.(StateSaver); ok {
+		s = sv.SaveState()
+		s.Alg = ""
+	}
+	s.setWords("periodic.step", []uint64{uint64(p.step)})
+	return s
+}
+
+// LoadState implements StateLoader.
+func (p *Periodic) LoadState(s State) {
+	if w := s.words("periodic.step"); len(w) == 1 {
+		p.step = int(w[0])
+	}
+	if ld, ok := p.inner.(StateLoader); ok {
+		ld.LoadState(s)
+	}
+}

@@ -220,6 +220,21 @@ func (q *QSGD) PayloadBytes(n int) int64 {
 // Reset implements Algorithm (QSGD is unbiased; no residual state).
 func (q *QSGD) Reset() {}
 
+// SaveState implements StateSaver: the stochastic-rounding RNG position.
+func (q *QSGD) SaveState() State {
+	var s State
+	st := q.rng.State()
+	s.setWords("rng", st[:])
+	return s
+}
+
+// LoadState implements StateLoader.
+func (q *QSGD) LoadState(s State) {
+	if w := s.words("rng"); len(w) == 4 {
+		q.rng.SetState([4]uint64{w[0], w[1], w[2], w[3]})
+	}
+}
+
 // ---- TernGrad ----
 
 // TernGrad (Wen et al., the paper's reference [20]) quantizes each entry to
@@ -313,3 +328,18 @@ func (t *TernGrad) PayloadBytes(n int) int64 { return (int64(2*n) + 32 + 7) / 8 
 
 // Reset implements Algorithm.
 func (t *TernGrad) Reset() {}
+
+// SaveState implements StateSaver: the stochastic-rounding RNG position.
+func (t *TernGrad) SaveState() State {
+	var s State
+	st := t.rng.State()
+	s.setWords("rng", st[:])
+	return s
+}
+
+// LoadState implements StateLoader.
+func (t *TernGrad) LoadState(s State) {
+	if w := s.words("rng"); len(w) == 4 {
+		t.rng.SetState([4]uint64{w[0], w[1], w[2], w[3]})
+	}
+}

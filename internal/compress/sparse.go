@@ -220,14 +220,26 @@ func (t *TopK) Exchange(p Payload, g []float32, c *comm.Communicator) error {
 	return sparseExchange(p, g, c, &t.sc.agv)
 }
 
-// ExchangeKind implements Algorithm.
-func (t *TopK) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgather }
+// ExchangeKind implements Algorithm: AllgatherV (the selected count is fixed
+// but the exchange primitive — and so its extra length round — is the same
+// variable-length allgather Gaussian-K uses).
+func (t *TopK) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgatherV }
 
 // PayloadBytes implements Algorithm: 32k bits (paper accounting).
 func (t *TopK) PayloadBytes(n int) int64 { return int64(4 * t.k) }
 
 // Reset implements Algorithm.
 func (t *TopK) Reset() { t.ef.reset() }
+
+// SaveState implements StateSaver: the error-feedback residual.
+func (t *TopK) SaveState() State {
+	var s State
+	s.setVec("ef", t.ef.residual)
+	return s
+}
+
+// LoadState implements StateLoader.
+func (t *TopK) LoadState(s State) { s.vec("ef", t.ef.residual) }
 
 // ---- Gaussian-K ----
 
@@ -300,13 +312,23 @@ func (gk *GaussianK) Exchange(p Payload, g []float32, c *comm.Communicator) erro
 }
 
 // ExchangeKind implements Algorithm.
-func (gk *GaussianK) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgather }
+func (gk *GaussianK) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgatherV }
 
 // PayloadBytes implements Algorithm: 32k bits expected (paper accounting).
 func (gk *GaussianK) PayloadBytes(n int) int64 { return int64(4 * gk.k) }
 
 // Reset implements Algorithm.
 func (gk *GaussianK) Reset() { gk.ef.reset() }
+
+// SaveState implements StateSaver: the error-feedback residual.
+func (gk *GaussianK) SaveState() State {
+	var s State
+	s.setVec("ef", gk.ef.residual)
+	return s
+}
+
+// LoadState implements StateLoader.
+func (gk *GaussianK) LoadState(s State) { s.vec("ef", gk.ef.residual) }
 
 // ---- Rand-K ----
 
@@ -362,10 +384,28 @@ func (r *RandK) Exchange(p Payload, g []float32, c *comm.Communicator) error {
 }
 
 // ExchangeKind implements Algorithm.
-func (r *RandK) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgather }
+func (r *RandK) ExchangeKind() netsim.ExchangeKind { return netsim.ExchangeAllgatherV }
 
 // PayloadBytes implements Algorithm.
 func (r *RandK) PayloadBytes(n int) int64 { return int64(4 * r.k) }
 
 // Reset implements Algorithm.
 func (r *RandK) Reset() { r.ef.reset() }
+
+// SaveState implements StateSaver: the residual plus the coordinate-sampling
+// RNG position.
+func (r *RandK) SaveState() State {
+	var s State
+	s.setVec("ef", r.ef.residual)
+	st := r.rng.State()
+	s.setWords("rng", st[:])
+	return s
+}
+
+// LoadState implements StateLoader.
+func (r *RandK) LoadState(s State) {
+	s.vec("ef", r.ef.residual)
+	if w := s.words("rng"); len(w) == 4 {
+		r.rng.SetState([4]uint64{w[0], w[1], w[2], w[3]})
+	}
+}

@@ -1,0 +1,303 @@
+package elastic
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"a2sgd/internal/cluster"
+	"a2sgd/internal/comm"
+	"a2sgd/internal/comm/faultnet"
+	"a2sgd/internal/plan"
+)
+
+// membership pins one epoch's world view for a cluster.Train segment.
+type membership struct{ world, epoch int }
+
+func (m membership) WorldSize() int { return m.world }
+func (m membership) Epoch() int     { return m.epoch }
+
+// Event records one membership-epoch transition of an elastic run.
+type Event struct {
+	// Epoch is the membership epoch the transition started.
+	Epoch int
+	// Step is the global step boundary the epoch resumed from.
+	Step int
+	// World is the epoch's live worker count.
+	World int
+	// Reason explains the transition: "start", "crash(rank=N)",
+	// "preempt(rank=N)", "rejoin", "drain".
+	Reason string
+}
+
+// Job supervises one elastic training run: a sequence of fixed-world
+// cluster.Train segments connected through snapshots, with the world size
+// adjusted across segments as ranks crash, get preempted, and rejoin.
+type Job struct {
+	// Config is the base training configuration. Workers is the initial world
+	// size; Resume, when non-nil, restarts the job from a persisted snapshot
+	// (the snapshot's world wins over Workers). CheckpointEvery bounds the
+	// work lost to a failure and paces the rejoin boundaries.
+	Config cluster.Config
+	// Scenario injects the job's deterministic faults. The supervisor also
+	// reads it to attribute mid-segment failures: a segment failing with a
+	// peer error consumes the scenario's earliest unconsumed crash, stall or
+	// preempt rule. Nil runs fault-free.
+	Scenario *faultnet.Scenario
+	// TCP runs the worker groups over loopback TCP instead of the in-process
+	// fabric.
+	TCP bool
+	// Replan, when non-nil, supplies the synchronization schedule for every
+	// membership epoch at its world size (typically plan.Build, which is pure:
+	// unchanged membership replans to a bitwise-identical schedule). Nil keeps
+	// Config's own algorithm knobs across rescales.
+	Replan func(world int) (*plan.Schedule, error)
+	// MaxRestarts bounds recovery attempts (default 8); a run that keeps
+	// failing past the bound surfaces its last error.
+	MaxRestarts int
+	// Pool, when non-nil, gates each segment on world free worker slots, so
+	// concurrent jobs share a bounded amount of parallelism.
+	Pool *Pool
+	// Drain, when non-nil, requests a graceful pause: once closed, the job
+	// stops at its next checkpoint boundary with a final snapshot.
+	Drain <-chan struct{}
+	// SnapshotSink, when non-nil, additionally receives every snapshot the
+	// run delivers (the gateway persists them to disk here). The supervisor
+	// always retains the latest snapshot itself.
+	SnapshotSink func(*cluster.RunState) error
+}
+
+// RunResult is the outcome of an elastic run.
+type RunResult struct {
+	// Result is the final segment's rank-0 view; nil when the run was paused
+	// by Drain before completing.
+	Result *cluster.Result
+	// Paused reports a graceful drain stop; Snapshot is then the resume point.
+	Paused bool
+	// Snapshot is the latest snapshot the run delivered.
+	Snapshot *cluster.RunState
+	// Events is the membership-epoch history, starting with "start".
+	Events []Event
+	// Restarts counts the failure recoveries performed.
+	Restarts int
+}
+
+// segmentScenario derives the fault scenario for a segment starting at global
+// step segStart: consumed rules are dropped, and step-scoped rules are
+// rebased to the segment's mesh (each cluster.Train call counts steps from
+// its own start, while rule steps are written in global steps).
+func (j *Job) segmentScenario(segStart int, consumed []bool) *faultnet.Scenario {
+	if j.Scenario == nil {
+		return &faultnet.Scenario{Seed: 1}
+	}
+	sc := *j.Scenario
+	sc.Rules = nil
+	for i, r := range j.Scenario.Rules {
+		if consumed[i] {
+			continue
+		}
+		if r.Step >= 0 {
+			if r.Step < segStart {
+				continue
+			}
+			r.Step -= segStart
+		}
+		sc.Rules = append(sc.Rules, r)
+	}
+	return &sc
+}
+
+// nextFault returns the index of the earliest unconsumed rank-failure rule
+// (crash, stall or preempt) that can have fired in a segment starting at
+// segStart, or -1.
+func (j *Job) nextFault(segStart int, consumed []bool) int {
+	best := -1
+	if j.Scenario == nil {
+		return best
+	}
+	for i, r := range j.Scenario.Rules {
+		if consumed[i] || r.Step < segStart {
+			continue
+		}
+		switch r.Kind {
+		case faultnet.RuleCrash, faultnet.RuleStall, faultnet.RulePreempt:
+			if best < 0 || r.Step < j.Scenario.Rules[best].Step {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// nextBoundary returns the first snapshot boundary strictly after step — the
+// next CheckpointEvery multiple, or the very next step when periodic
+// checkpointing is off — or 0 when no boundary precedes the end of the run.
+func nextBoundary(step, every, total int) int {
+	b := step + 1
+	if every > 0 {
+		b = (step/every + 1) * every
+	}
+	if b >= total {
+		return 0
+	}
+	return b
+}
+
+func drained(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run drives the job to completion (or to a drain pause): it runs one
+// cluster.Train segment per membership epoch, snapshots at boundaries,
+// shrinks the world when a rank fails, schedules a rejoin boundary for
+// preempted ranks, reshards the latest snapshot across every transition and
+// re-plans the schedule when Replan is set.
+func (j *Job) Run() (*RunResult, error) {
+	base := j.Config
+	if base.Workers <= 0 {
+		base.Workers = 1
+	}
+	epochsN, stepsN := base.Epochs, base.StepsPerEpoch
+	if epochsN <= 0 {
+		epochsN = 1
+	}
+	if stepsN <= 0 {
+		stepsN = 10
+	}
+	totalSteps := epochsN * stepsN
+	maxRestarts := j.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 8
+	}
+	var rules []faultnet.Rule
+	if j.Scenario != nil {
+		rules = j.Scenario.Rules
+	}
+	consumed := make([]bool, len(rules))
+
+	latest := base.Resume
+	world := base.Workers
+	startStep := 0
+	if latest != nil {
+		world = latest.World
+		startStep = latest.Step
+	}
+	epoch := 0
+	pendingRejoin := 0
+	rr := &RunResult{Events: []Event{{Epoch: 0, Step: startStep, World: world, Reason: "start"}}}
+
+	// latest is written by rank 0's sink goroutine during a segment and read
+	// by the supervisor after the segment joins; the mutex makes the handoff
+	// race-free under external sinks that outlive the group join.
+	var mu sync.Mutex
+	for {
+		segStart := 0
+		if latest != nil {
+			segStart = latest.Step
+		}
+		seg := base
+		seg.Workers = world
+		seg.Membership = membership{world: world, epoch: epoch}
+		seg.Resume = latest
+		seg.Drain = j.Drain
+		seg.StopStep = 0
+		seg.SnapshotSink = func(rs *cluster.RunState) error {
+			mu.Lock()
+			latest = rs
+			mu.Unlock()
+			if j.SnapshotSink != nil {
+				return j.SnapshotSink(rs)
+			}
+			return nil
+		}
+		if pendingRejoin > 0 {
+			if stop := nextBoundary(segStart, seg.CheckpointEvery, totalSteps); stop > 0 {
+				seg.StopStep = stop
+			} else {
+				// No boundary left before the run ends: the preempted ranks
+				// cannot rejoin, the shrunk world finishes the run.
+				pendingRejoin = 0
+			}
+		}
+		if j.Replan != nil {
+			sched, err := j.Replan(world)
+			if err != nil {
+				return rr, fmt.Errorf("elastic: replan at world %d: %w", world, err)
+			}
+			seg.Schedule = sched
+		}
+		seg.GroupRunner = faultnet.GroupRunner(j.segmentScenario(segStart, consumed), j.TCP)
+
+		var slots int
+		if j.Pool != nil {
+			slots = j.Pool.Acquire(world)
+		}
+		res, err := cluster.Train(seg)
+		if j.Pool != nil {
+			j.Pool.Release(slots)
+		}
+		mu.Lock()
+		snap := latest
+		mu.Unlock()
+
+		if err == nil {
+			rr.Result = res
+			rr.Snapshot = snap
+			return rr, nil
+		}
+		if errors.Is(err, cluster.ErrPaused) {
+			if drained(j.Drain) {
+				rr.Paused = true
+				rr.Snapshot = snap
+				rr.Events = append(rr.Events, Event{Epoch: epoch, Step: snap.Step, World: world, Reason: "drain"})
+				return rr, nil
+			}
+			if pendingRejoin > 0 {
+				world += pendingRejoin
+				pendingRejoin = 0
+				epoch++
+				latest, err = Reshard(snap, world)
+				if err != nil {
+					return rr, err
+				}
+				rr.Events = append(rr.Events, Event{Epoch: epoch, Step: snap.Step, World: world, Reason: "rejoin"})
+				continue
+			}
+			return rr, err // paused with no pending transition: surface it
+		}
+		// Mid-segment failure. Only peer-scoped transport failures are
+		// membership events; anything else (divergence, a planning bug) is not
+		// recoverable by rescaling.
+		var pe *comm.PeerError
+		ri := j.nextFault(segStart, consumed)
+		if !errors.As(err, &pe) || ri < 0 || rr.Restarts >= maxRestarts || snap == nil {
+			return rr, err
+		}
+		rr.Restarts++
+		consumed[ri] = true
+		r := rules[ri]
+		if world-1 < 1 {
+			return rr, fmt.Errorf("elastic: rank %d failed with no survivors left: %w", r.Rank, err)
+		}
+		world--
+		epoch++
+		reason := fmt.Sprintf("crash(rank=%d)", r.Rank)
+		if r.Kind == faultnet.RulePreempt {
+			pendingRejoin++
+			reason = fmt.Sprintf("preempt(rank=%d)", r.Rank)
+		}
+		latest, err = Reshard(snap, world)
+		if err != nil {
+			return rr, err
+		}
+		rr.Events = append(rr.Events, Event{Epoch: epoch, Step: snap.Step, World: world, Reason: reason})
+	}
+}

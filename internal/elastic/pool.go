@@ -1,0 +1,58 @@
+package elastic
+
+import "sync"
+
+// Pool is a counting semaphore over worker slots, shared by the concurrent
+// jobs of a gateway: a job acquires one slot per rank for the duration of
+// each training segment, so the total number of in-process ranks stays
+// bounded no matter how many jobs are queued.
+type Pool struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	slots int
+	used  int
+}
+
+// NewPool builds a pool of the given capacity (minimum 1).
+func NewPool(slots int) *Pool {
+	if slots < 1 {
+		slots = 1
+	}
+	p := &Pool{slots: slots}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Cap returns the pool's capacity.
+func (p *Pool) Cap() int { return p.slots }
+
+// Acquire blocks until n slots are free and claims them, returning the count
+// actually claimed. Requests wider than the pool are clamped to its capacity,
+// so an oversized job serializes against the whole pool instead of
+// deadlocking.
+func (p *Pool) Acquire(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.slots {
+		n = p.slots
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.slots-p.used < n {
+		p.cond.Wait()
+	}
+	p.used += n
+	return n
+}
+
+// Release returns n slots claimed by Acquire.
+func (p *Pool) Release(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.used -= n
+	if p.used < 0 {
+		p.used = 0
+	}
+	p.cond.Broadcast()
+}

@@ -91,6 +91,12 @@ type Model interface {
 	// GatherParams/ScatterParams move the flattened weights.
 	GatherParams(dst []float32)
 	ScatterParams(src []float32)
+	// StateLen reports the flattened non-learnable state length (batch-norm
+	// running statistics); GatherState/ScatterState move it. Models without
+	// such state report 0 and the gather/scatter are no-ops on empty slices.
+	StateLen() int
+	GatherState(dst []float32)
+	ScatterState(src []float32)
 	// Params exposes the learnable tensors for the optimizer.
 	Params() []nn.Param
 }
@@ -139,6 +145,9 @@ func (c *classifier) GradSlice(lo, hi int) []float32 { return c.net.GradSlice(lo
 func (c *classifier) ParamSegments() []nn.Segment    { return c.net.ParamSegments() }
 func (c *classifier) GatherParams(dst []float32)     { c.net.GatherParams(dst) }
 func (c *classifier) ScatterParams(src []float32)    { c.net.ScatterParams(src) }
+func (c *classifier) StateLen() int                  { return c.net.StateLen() }
+func (c *classifier) GatherState(dst []float32)      { c.net.GatherState(dst) }
+func (c *classifier) ScatterState(src []float32)     { c.net.ScatterState(src) }
 
 // Config selects a model family and scale.
 type Config struct {
@@ -418,6 +427,12 @@ func (l *lstmModel) ScatterParams(src []float32) {
 		off += len(p.W)
 	}
 }
+
+// StateLen implements Model: the LSTM carries no cross-batch state (hidden
+// state is reset per truncated-BPTT window), so there is nothing to capture.
+func (l *lstmModel) StateLen() int          { return 0 }
+func (l *lstmModel) GatherState([]float32)  {}
+func (l *lstmModel) ScatterState([]float32) {}
 
 // newLSTM builds the LSTM-PTB pattern. Paper scale: vocab 10,000, embedding
 // and hidden 1500, two stacked layers (the Zaremba "large" PTB

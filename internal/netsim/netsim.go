@@ -55,13 +55,26 @@ func (f Fabric) RecDoublingAllreduce(nBytes int64, p int) float64 {
 	return t
 }
 
-// Allreduce returns the better (smaller) of the two allreduce laws — what
-// a tuned MPI library would pick, and what comm.AlgoAuto approximates.
+// autoCutoverBytes mirrors comm's AlgoAuto policy: vectors under 4096
+// float32 elements go recursive doubling, larger ones ring. The price law
+// prices the collective the runtime actually runs — a min() of the two laws
+// would assume an α-aware library choice the communicator does not make, and
+// under high injected latency that mispredicts the dense epilogue (the
+// runtime rings a large vector even when ⌈log2 p⌉ latency rounds would be
+// cheaper).
+const autoCutoverBytes = 4 * 4096
+
+// Allreduce returns the cost of the allreduce comm.AlgoAuto would run: the
+// length-based cutover between recursive doubling (small vectors) and ring
+// (large vectors).
 func (f Fabric) Allreduce(nBytes int64, p int) float64 {
 	if p <= 1 {
 		return 0
 	}
-	return math.Min(f.RingAllreduce(nBytes, p), f.RecDoublingAllreduce(nBytes, p))
+	if nBytes < autoCutoverBytes {
+		return f.RecDoublingAllreduce(nBytes, p)
+	}
+	return f.RingAllreduce(nBytes, p)
 }
 
 // Allgather returns the cost of a ring allgather where each worker
@@ -71,6 +84,20 @@ func (f Fabric) Allgather(nBytes int64, p int) float64 {
 		return 0
 	}
 	return float64(p-1) * (f.Alpha + float64(nBytes)*f.Beta)
+}
+
+// AllgatherV returns the cost of a variable-length allgather where each
+// worker contributes nBytes on average: one fixed length-exchange round
+// (every worker allgathers its 4-byte element count so peers can size their
+// receives) followed by the p−1 data rounds. The length round is pure
+// latency overhead — (p−1)·(α+4β) — which the earlier flat Allgather law
+// omitted, undercounting every sparse exchange by p−1 α terms per bucket
+// per step.
+func (f Fabric) AllgatherV(nBytes int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return f.Allgather(4, p) + f.Allgather(nBytes, p)
 }
 
 // Broadcast returns the cost of a binomial-tree broadcast of nBytes.
@@ -89,8 +116,13 @@ type ExchangeKind int
 const (
 	// ExchangeAllreduce: dense SGD, QSGD (dequantized reduce) and A2SGD.
 	ExchangeAllreduce ExchangeKind = iota
-	// ExchangeAllgather: Top-K and Gaussian-K sparse value/index exchange.
+	// ExchangeAllgather: fixed-length gather exchange (QSGD-Elias's coded
+	// streams, priced at their expected length).
 	ExchangeAllgather
+	// ExchangeAllgatherV: variable-length gather exchange with a leading
+	// length round — the sparse value/index algorithms (Top-K, Gaussian-K,
+	// Rand-K, DGC), whose payload size is data dependent.
+	ExchangeAllgatherV
 )
 
 // SyncTime returns the modelled synchronization time for one training step
@@ -99,6 +131,8 @@ func (f Fabric) SyncTime(kind ExchangeKind, bytesPerWorker int64, p int) float64
 	switch kind {
 	case ExchangeAllgather:
 		return f.Allgather(bytesPerWorker, p)
+	case ExchangeAllgatherV:
+		return f.AllgatherV(bytesPerWorker, p)
 	default:
 		return f.Allreduce(bytesPerWorker, p)
 	}

@@ -16,6 +16,9 @@ type Pricer interface {
 	// SyncTime prices one collective in which each worker contributes
 	// bytesPerWorker, across p workers.
 	SyncTime(kind ExchangeKind, bytesPerWorker int64, p int) float64
+	// BroadcastTime prices a root-to-all broadcast of nBytes — the setup
+	// epilogue every run pays once (rank 0's weights), not a per-step cost.
+	BroadcastTime(nBytes int64, p int) float64
 	// PipelinedSyncTime prices the bucketed overlap pipeline (see
 	// Fabric.PipelinedSyncTime for the recurrence).
 	PipelinedSyncTime(kind ExchangeKind, encSec []float64, bucketBytes []int64, p int) float64
@@ -30,6 +33,9 @@ type Pricer interface {
 
 // Label implements Pricer for the flat fabric.
 func (f Fabric) Label() string { return f.Name }
+
+// BroadcastTime implements Pricer with the binomial-tree law.
+func (f Fabric) BroadcastTime(nBytes int64, p int) float64 { return f.Broadcast(nBytes, p) }
 
 var (
 	_ Pricer = Fabric{}
@@ -121,11 +127,39 @@ func (t TwoTier) HierAllgather(nBytes int64, p int) float64 {
 	return cost
 }
 
+// HierAllgatherV prices the variable-length hierarchical allgather: the
+// 4-byte length round runs over the same two-level schedule as the data
+// rounds, so the latency overhead scales with the node count, not p.
+func (t TwoTier) HierAllgatherV(nBytes int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return t.HierAllgather(4, p) + t.HierAllgather(nBytes, p)
+}
+
+// HierBroadcast prices the two-level broadcast: the root reaches the node
+// leaders over the slow tier, each leader fans out locally.
+func (t TwoTier) HierBroadcast(nBytes int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	m, nodes := t.shape(p)
+	if m <= 1 {
+		return t.Inter.Broadcast(nBytes, p)
+	}
+	return t.Inter.Broadcast(nBytes, nodes) + t.Intra.Broadcast(nBytes, m)
+}
+
+// BroadcastTime implements Pricer.
+func (t TwoTier) BroadcastTime(nBytes int64, p int) float64 { return t.HierBroadcast(nBytes, p) }
+
 // SyncTime implements Pricer with the hierarchical laws.
 func (t TwoTier) SyncTime(kind ExchangeKind, bytesPerWorker int64, p int) float64 {
 	switch kind {
 	case ExchangeAllgather:
 		return t.HierAllgather(bytesPerWorker, p)
+	case ExchangeAllgatherV:
+		return t.HierAllgatherV(bytesPerWorker, p)
 	default:
 		return t.HierAllreduce(bytesPerWorker, p)
 	}

@@ -240,6 +240,40 @@ func (r *Residual) Params() []Param {
 	return ps
 }
 
+// StateLen implements Stateful: the nested batch-norm layers' state, inner
+// stack first, then the projection (matching Params order).
+func (r *Residual) StateLen() int {
+	total := 0
+	for _, l := range append(append([]Layer(nil), r.Inner...), r.Proj...) {
+		if s, ok := l.(Stateful); ok {
+			total += s.StateLen()
+		}
+	}
+	return total
+}
+
+// GatherState implements Stateful.
+func (r *Residual) GatherState(dst []float32) {
+	off := 0
+	for _, l := range append(append([]Layer(nil), r.Inner...), r.Proj...) {
+		if s, ok := l.(Stateful); ok {
+			s.GatherState(dst[off : off+s.StateLen()])
+			off += s.StateLen()
+		}
+	}
+}
+
+// ScatterState implements Stateful.
+func (r *Residual) ScatterState(src []float32) {
+	off := 0
+	for _, l := range append(append([]Layer(nil), r.Inner...), r.Proj...) {
+		if s, ok := l.(Stateful); ok {
+			s.ScatterState(src[off : off+s.StateLen()])
+			off += s.StateLen()
+		}
+	}
+}
+
 // Forward implements Layer.
 func (r *Residual) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	y := x

@@ -31,6 +31,20 @@ type Layer interface {
 	Name() string
 }
 
+// Stateful is implemented by layers that carry non-learnable state a
+// checkpoint must capture to resume a run bitwise — batch-norm running
+// statistics being the canonical case. The state is exposed as a flat
+// float32 vector so it composes with the positional parameter serialization
+// (layer names are not unique, so name-keyed capture would collide).
+type Stateful interface {
+	// StateLen returns the flattened state element count.
+	StateLen() int
+	// GatherState copies the state into dst (len == StateLen()).
+	GatherState(dst []float32)
+	// ScatterState restores state captured by GatherState.
+	ScatterState(src []float32)
+}
+
 // Network is a sequential container of layers with the flattened-vector
 // views the distributed runtime needs.
 type Network struct {
@@ -249,6 +263,47 @@ func (n *Network) ScatterParams(src []float32) {
 	for _, p := range n.Params() {
 		copy(p.W, src[off:off+len(p.W)])
 		off += len(p.W)
+	}
+}
+
+// StateLen returns the total flattened non-learnable state length across all
+// Stateful layers, in layer order.
+func (n *Network) StateLen() int {
+	total := 0
+	for _, l := range n.Layers {
+		if s, ok := l.(Stateful); ok {
+			total += s.StateLen()
+		}
+	}
+	return total
+}
+
+// GatherState copies every Stateful layer's state into dst (len ==
+// StateLen()) in layer order.
+func (n *Network) GatherState(dst []float32) {
+	off := 0
+	for _, l := range n.Layers {
+		if s, ok := l.(Stateful); ok {
+			s.GatherState(dst[off : off+s.StateLen()])
+			off += s.StateLen()
+		}
+	}
+	if off != len(dst) {
+		panic(fmt.Sprintf("nn: GatherState length %d != %d", len(dst), off))
+	}
+}
+
+// ScatterState restores layer state captured by GatherState.
+func (n *Network) ScatterState(src []float32) {
+	off := 0
+	for _, l := range n.Layers {
+		if s, ok := l.(Stateful); ok {
+			s.ScatterState(src[off : off+s.StateLen()])
+			off += s.StateLen()
+		}
+	}
+	if off != len(src) {
+		panic(fmt.Sprintf("nn: ScatterState length %d != %d", len(src), off))
 	}
 }
 

@@ -177,6 +177,47 @@ func (s *SGD) Step(params []nn.Param, lr float64) {
 // Reset clears momentum state (between convergence runs).
 func (s *SGD) Reset() { s.vel = nil }
 
+// GatherVelocity copies the momentum buffers into dst, flattened positionally
+// in params order (dst length = total parameter count). Parameters without a
+// buffer yet contribute zeros. Positional layout sidesteps the fact that
+// layer-derived parameter names are not unique: parameters that share a name
+// also share one velocity buffer in Step, and the flattened copy reproduces
+// exactly the values Step would read at each position.
+func (s *SGD) GatherVelocity(params []nn.Param, dst []float32) {
+	off := 0
+	for _, p := range params {
+		seg := dst[off : off+len(p.W)]
+		if v, ok := s.vel[p.Name]; ok && len(v) == len(seg) {
+			copy(seg, v)
+		} else {
+			for i := range seg {
+				seg[i] = 0
+			}
+		}
+		off += len(p.W)
+	}
+}
+
+// ScatterVelocity restores momentum buffers captured by GatherVelocity. It
+// allocates buffers even where the flattened segment is zero, so a restored
+// optimizer is indistinguishable from one that has already stepped.
+func (s *SGD) ScatterVelocity(params []nn.Param, src []float32) {
+	if s.vel == nil {
+		s.vel = make(map[string][]float32)
+	}
+	off := 0
+	for _, p := range params {
+		seg := src[off : off+len(p.W)]
+		v, ok := s.vel[p.Name]
+		if !ok || len(v) != len(seg) {
+			v = make([]float32, len(seg))
+			s.vel[p.Name] = v
+		}
+		copy(v, seg)
+		off += len(p.W)
+	}
+}
+
 // ClipGradNorm rescales all gradients so their global l2 norm does not
 // exceed maxNorm, returning the pre-clip norm. The standard recurrent-
 // network stabilizer (and one of Deep Gradient Compression's ingredients).

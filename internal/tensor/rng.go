@@ -39,6 +39,15 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xa5a5a5a55a5a5a5a)
 }
 
+// State returns the generator's internal 256-bit state, so a checkpoint can
+// capture the stream position and SetState can resume it exactly: after a
+// round-trip the generator produces the identical draw sequence it would have
+// produced uninterrupted.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured with State.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
