@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"a2sgd/internal/cluster"
 	"a2sgd/internal/comm"
 	"a2sgd/internal/comm/tcpnet"
 	"a2sgd/internal/compress"
@@ -42,6 +43,12 @@ type HotPathReport struct {
 	// 1.0 = the exchange is completely hidden behind posting; 0 = overlap
 	// bought nothing.
 	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"`
+	// DirectBuckets and TotalBuckets record the vgg16 multi-tensor plan
+	// probe: with strided gradient views every bucket — including those
+	// spanning parameter-tensor boundaries — encodes from and reconstructs
+	// into the layers' live storage, so the two counts must be equal.
+	DirectBuckets int `json:"direct_buckets,omitempty"`
+	TotalBuckets  int `json:"total_buckets,omitempty"`
 }
 
 // hotPathN is the vgg16-scale bucket the suite measures: 1 M float32
@@ -86,8 +93,10 @@ func HotPath(w io.Writer) (*HotPathReport, error) {
 	}
 
 	// Encode on a warm instance, per algorithm (Figure 2's quantity, now with
-	// the allocation count alongside).
-	for _, name := range Figure2Algos {
+	// the allocation count alongside), plus qsgd-elias — its batched
+	// Elias-gamma bit-writer is a hot-path kernel in its own right.
+	encodeAlgos := append(append([]string(nil), Figure2Algos...), "qsgd-elias")
+	for _, name := range encodeAlgos {
 		alg := newAlgo(name, hotPathN, 3)
 		alg.Encode(g) // warm-up: grows the instance scratch once
 		add("encode/"+name, hotPathN, 4*hotPathN, testing.Benchmark(func(b *testing.B) {
@@ -331,6 +340,35 @@ func HotPath(w io.Writer) (*HotPathReport, error) {
 		rep.OverlapEfficiency = (tSerial - tOverlap) / hideable
 	}
 
+	// Direct-bucket probe: a short vgg16 run whose bucket plan packs several
+	// parameter tensors per bucket. The strided-view pipeline must report
+	// every bucket as direct (exchanged in place, no gather/scatter copy).
+	{
+		res, err := cluster.Train(cluster.Config{
+			Workers: 2, Family: "vgg16",
+			NewAlgorithm: func(rank, n int) compress.Algorithm {
+				o := compress.DefaultOptions(n)
+				o.Seed = 5
+				a, err := compress.Build(&compress.Spec{Name: "a2sgd"}, o)
+				if err != nil {
+					panic(err)
+				}
+				return a
+			},
+			BucketBytes: 8192, Overlap: true,
+			Epochs: 1, StepsPerEpoch: 2, BatchPerWorker: 2,
+			Seed: 5, EvalBatch: 8,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: hotpath vgg16 direct-bucket probe: %w", err)
+		}
+		rep.DirectBuckets, rep.TotalBuckets = res.DirectBuckets, res.Buckets
+		if res.DirectBuckets != res.Buckets {
+			return nil, fmt.Errorf("bench: vgg16 plan exchanged %d of %d buckets in place, want all",
+				res.DirectBuckets, res.Buckets)
+		}
+	}
+
 	fmt.Fprintf(w, "Hot path steady state (n = %d elements, GOMAXPROCS = %d, zero-copy net = %v)\n",
 		hotPathN, rep.GOMAXPROCS, rep.ZeroCopyNet)
 	rows := make([][]string, 0, len(rep.Points))
@@ -349,5 +387,6 @@ func HotPath(w io.Writer) (*HotPathReport, error) {
 		fmt.Fprintf(w, "overlap efficiency: %.2f (share of hideable exchange time the overlapped step hides)\n",
 			rep.OverlapEfficiency)
 	}
+	fmt.Fprintf(w, "vgg16 direct buckets: %d/%d exchanged in place\n", rep.DirectBuckets, rep.TotalBuckets)
 	return rep, nil
 }

@@ -255,8 +255,9 @@ type Result struct {
 	// whether exchanges were pipelined with gather/encode, Concurrency the
 	// number of tag-space contexts they ran under (1 = deterministic),
 	// Interleave whether launches were folded into the backward pass, and
-	// DirectBuckets how many buckets were exchanged in place (no gather or
-	// scatter copy).
+	// DirectBuckets how many buckets were exchanged in place with no gather
+	// or scatter copy — since the strided-view pipeline, always equal to
+	// Buckets (the invariant the concurrency tests assert).
 	Buckets       int
 	BucketBounds  []int
 	Overlap       bool
@@ -374,16 +375,17 @@ func (r *Result) Throughput(f netsim.Pricer, batchPerWorker int) float64 {
 // loop owns an array of nb of these and re-fills them in place every step,
 // so posting a bucket never allocates — posting a *bucketExchangeOp converts
 // to comm.Op without boxing. RunOp receives the tag-space context
-// communicator the operation was assigned to.
+// communicator the operation was assigned to. The exchange reconstructs
+// directly into the bucket's gradient view (the layers' live storage).
 type bucketExchangeOp struct {
 	bk *compress.Bucketed
 	b  int
 	p  compress.Payload
-	g  []float32
+	v  *tensor.VecView
 }
 
 func (o *bucketExchangeOp) RunOp(c *comm.Communicator) error {
-	return o.bk.ExchangeBucket(o.b, o.p, o.g, c)
+	return o.bk.ExchangeBucketView(o.b, o.p, o.v, c)
 }
 
 // bucketInfos derives each bucket's policy-facing metadata from the plan.
@@ -616,48 +618,34 @@ func Train(c Config) (*Result, error) {
 		reqScratch := make([]comm.Request, 0, nb)
 		exchangeOps := make([]bucketExchangeOp, nb)
 
-		// Direct buckets: when a bucket's range lies inside a single
-		// parameter tensor, encode from — and reconstruct into — the layer's
-		// live gradient storage, skipping both the gather copy and the
-		// scatter copy. bucketGrad[b] is the view every path encodes and
-		// exchanges; for non-direct buckets it is the staging slice of grad.
-		bucketGrad := make([][]float32, nb)
-		direct := make([]bool, nb)
-		directCount := 0
+		// Every bucket is direct: its view spans the layers' live gradient
+		// storage across however many parameter tensors the range covers, so
+		// encode reads — and the exchange reconstructs into — that storage
+		// with no gather copy before and no scatter copy after, regardless
+		// of where the bucket boundaries fall.
+		viewStore := make([]tensor.VecView, nb)
+		bucketView := make([]*tensor.VecView, nb)
 		for b := 0; b < nb; b++ {
-			lo, hi := bounds[b], bounds[b+1]
-			if gs := model.GradSlice(lo, hi); gs != nil {
-				bucketGrad[b] = gs
-				direct[b] = true
-				directCount++
-			} else {
-				bucketGrad[b] = grad[lo:hi]
-			}
+			bucketView[b] = model.GradView(bounds[b], bounds[b+1], &viewStore[b])
 		}
 
-		// encodeBucket gathers bucket b (direct buckets encode in place;
-		// pregathered means the histogram capture already copied the whole
-		// gradient), checks it is finite and encodes it, returning the
-		// payload and the encode duration. The serial loop, the parallel
-		// worker pool and the interleaved backward callbacks all run exactly
-		// this.
-		encodeBucket := func(b int, pregathered bool) (compress.Payload, float64, error) {
-			lo, hi := bounds[b], bounds[b+1]
-			gb := bucketGrad[b]
-			if !pregathered && !direct[b] {
-				model.GatherGradsRange(grad, lo, hi) // disjoint ranges: safe concurrently
-			}
-			if tensor.HasNaNOrInf(gb) {
+		// encodeBucket checks bucket b's live gradient view is finite and
+		// encodes it in place, returning the payload and the encode duration.
+		// The serial loop, the parallel worker pool and the interleaved
+		// backward callbacks all run exactly this.
+		encodeBucket := func(b int) (compress.Payload, float64, error) {
+			bv := bucketView[b]
+			if bv.HasNaNOrInf() {
 				return compress.Payload{}, 0, fmt.Errorf("cluster: worker %d produced a non-finite gradient (diverged — lower the learning rate)", rank)
 			}
 			t1 := time.Now()
-			p := bucketed.EncodeBucket(b, gb)
+			p := bucketed.EncodeBucketView(b, bv)
 			return p, time.Since(t1).Seconds(), nil
 		}
 
 		// postBucket fills bucket b's pooled op and posts its exchange.
 		postBucket := func(b int, p compress.Payload) comm.Request {
-			exchangeOps[b] = bucketExchangeOp{bk: bucketed, b: b, p: p, g: bucketGrad[b]}
+			exchangeOps[b] = bucketExchangeOp{bk: bucketed, b: b, p: p, v: bucketView[b]}
 			return cm.Post(&exchangeOps[b])
 		}
 
@@ -687,7 +675,6 @@ func Train(c Config) (*Result, error) {
 			encErr      []error
 			encDone     []chan struct{}
 			encWork     chan int
-			encHist     bool // current step's histogram-gather flag
 		)
 		if encWorkers > 0 {
 			encPayloads = make([]compress.Payload, nb)
@@ -701,7 +688,7 @@ func Train(c Config) (*Result, error) {
 			for w := 0; w < encWorkers; w++ {
 				go func() {
 					for b := range encWork {
-						encPayloads[b], encDur[b], encErr[b] = encodeBucket(b, encHist)
+						encPayloads[b], encDur[b], encErr[b] = encodeBucket(b)
 						encDone[b] <- struct{}{}
 					}
 				}()
@@ -852,12 +839,12 @@ func Train(c Config) (*Result, error) {
 				model.ZeroGrads()
 				// Histogram steps take the post-backward launch path on
 				// EVERY rank (the capture needs the raw local gradient
-				// before any exchange rewrites it, and the posting order
-				// must stay identical across ranks — concurrent contexts
-				// are assigned by posting sequence). Only rank 0 actually
-				// pre-gathers and captures.
+				// before any exchange rewrites it — exchanges reconstruct
+				// into the live storage the views alias — and the posting
+				// order must stay identical across ranks: concurrent
+				// contexts are assigned by posting sequence). Only rank 0
+				// actually gathers and captures.
 				histStep := histAt[globalStep]
-				pregathered := histStep && rank == 0
 				reqs := reqScratch[:0]
 				t0 := time.Now()
 				var loss float64
@@ -875,7 +862,7 @@ func Train(c Config) (*Result, error) {
 							return
 						}
 						for next >= 0 && bounds[next] >= lo {
-							p, dur, err := encodeBucket(next, false)
+							p, dur, err := encodeBucket(next)
 							if err != nil {
 								encFail = err
 								return
@@ -900,25 +887,23 @@ func Train(c Config) (*Result, error) {
 					lossSum += loss
 
 					// Figure-1 capture needs the raw local gradient in one
-					// piece; on capture steps gather everything up front
-					// (values are identical — only the copy order differs).
-					if pregathered {
+					// piece, copied before any exchange reconstructs into
+					// the live storage.
+					if histStep && rank == 0 {
 						model.GatherGrads(grad)
 						h := stats.NewHistogram(-0.25, 0.25, 101)
 						h.AddSlice(grad)
 						hists = append(hists, h)
 					}
 
-					// Bucketed gradient pipeline: gather bucket b, encode
-					// it, and either run its collective inline
+					// Bucketed gradient pipeline: encode bucket b in place
+					// through its view and either run its collective inline
 					// (synchronous) or post it to the communicator's
 					// progress workers so it proceeds while bucket b+1 is
-					// gathered and encoded. With encode workers,
-					// gather+encode of all buckets fans out across the pool
-					// and the exchanges are still enqueued in bucket order
-					// as each encode completes.
+					// encoded. With encode workers, encoding of all buckets
+					// fans out across the pool and the exchanges are still
+					// enqueued in bucket order as each encode completes.
 					if encWorkers > 0 {
-						encHist = pregathered // read by workers after the channel send below
 						for b := 0; b < nb; b++ {
 							encWork <- b
 						}
@@ -937,7 +922,7 @@ func Train(c Config) (*Result, error) {
 						}
 					} else {
 						for b := 0; b < nb; b++ {
-							payload, dur, err := encodeBucket(b, pregathered)
+							payload, dur, err := encodeBucket(b)
 							if err != nil {
 								_ = comm.WaitAll(reqs) // drain in-flight buckets first
 								return fmt.Errorf("%w (step %d)", err, globalStep)
@@ -947,7 +932,7 @@ func Train(c Config) (*Result, error) {
 								reqs = append(reqs, postBucket(b, payload))
 							} else {
 								t2 := time.Now()
-								if err := bucketed.ExchangeBucket(b, payload, bucketGrad[b], cm); err != nil {
+								if err := bucketed.ExchangeBucketView(b, payload, bucketView[b], cm); err != nil {
 									return fmt.Errorf("cluster: step %d bucket %d sync: %w", globalStep, b, err)
 								}
 								syncSec += time.Since(t2).Seconds()
@@ -963,17 +948,8 @@ func Train(c Config) (*Result, error) {
 					syncSec += time.Since(t2).Seconds()
 					reqScratch = reqs
 				}
-				// Direct buckets were reconstructed in place by their
-				// exchange; only staged buckets need the scatter copy.
-				if directCount == 0 {
-					model.ScatterGrads(grad)
-				} else {
-					for b := 0; b < nb; b++ {
-						if !direct[b] {
-							model.ScatterGradsRange(grad, bounds[b], bounds[b+1])
-						}
-					}
-				}
+				// Every exchange reconstructed in place through its bucket
+				// view — there is nothing to scatter back.
 				opt.Step(model.Params(), lr)
 				stepSec += time.Since(t0).Seconds()
 				steps++
@@ -1022,7 +998,7 @@ func Train(c Config) (*Result, error) {
 			res.Overlap = overlap
 			res.Concurrency = cm.Concurrency()
 			res.Interleave = cfg.Interleave
-			res.DirectBuckets = directCount
+			res.DirectBuckets = nb
 			res.Topology = cm.Topology()
 			res.BucketPayloadBytes = bucketed.PayloadBytesPerBucket()
 			res.BucketExchangeKinds = bucketed.ExchangeKinds()

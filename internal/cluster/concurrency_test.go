@@ -54,10 +54,82 @@ func TestConcurrencyMatrixBitwise(t *testing.T) {
 			if !bytes.Equal(ckpt, wantCkpt) {
 				t.Errorf("%s %s: final weights differ from the serial run", algo, v.label)
 			}
-			if v.cfg.Interleave && res.DirectBuckets == 0 {
-				t.Errorf("%s %s: expected some direct (in-place) buckets in the fnn3 plan", algo, v.label)
+			if res.DirectBuckets != res.Buckets {
+				t.Errorf("%s %s: %d of %d buckets direct, want all (strided views make every bucket in-place)",
+					algo, v.label, res.DirectBuckets, res.Buckets)
 			}
 		}
+	}
+}
+
+// TestLSTMInterleaveBitwise extends the mode-equivalence matrix to the LSTM:
+// truncated BPTT now reports per-tensor readiness from inside its last
+// timestep (output projection first, then each layer top-down, embedding
+// last), so the interleaved launch genuinely overlaps exchanges with the
+// remaining backward — and must still be bitwise identical to the serial
+// synchronous run.
+func TestLSTMInterleaveBitwise(t *testing.T) {
+	lstmCfg := func(concurrency int, overlap, interleave bool) Config {
+		cfg := quickCfg("lstm", "a2sgd", 3)
+		cfg.BucketBytes = fourBucketBytes
+		cfg.Overlap = overlap
+		cfg.Concurrency = concurrency
+		cfg.Interleave = interleave
+		return cfg
+	}
+	base, wantCkpt := trainWithCheckpoint(t, lstmCfg(0, false, false))
+	if base.Buckets < 2 {
+		t.Fatalf("lstm plan produced %d buckets, want >= 2", base.Buckets)
+	}
+	variants := []struct {
+		label string
+		cfg   Config
+	}{
+		{"overlap-det", lstmCfg(0, true, false)},
+		{"interleave-det", lstmCfg(0, true, true)},
+		{"interleave-concurrent-4", lstmCfg(4, true, true)},
+	}
+	for _, v := range variants {
+		res, ckpt := trainWithCheckpoint(t, v.cfg)
+		assertRunsIdentical(t, "lstm "+v.label, base, res)
+		if !bytes.Equal(ckpt, wantCkpt) {
+			t.Errorf("lstm %s: final weights differ from the serial run", v.label)
+		}
+		if res.DirectBuckets != res.Buckets {
+			t.Errorf("lstm %s: %d of %d buckets direct, want all", v.label, res.DirectBuckets, res.Buckets)
+		}
+	}
+	// Hierarchical: the two-level reduction order differs from flat, so the
+	// comparison is interleaved-vs-deterministic under the same topology.
+	det := lstmCfg(0, true, false)
+	det.Topology = 2
+	rd, hckpt := trainWithCheckpoint(t, det)
+	il := lstmCfg(4, true, true)
+	il.Topology = 2
+	ri, ickpt := trainWithCheckpoint(t, il)
+	assertRunsIdentical(t, "lstm hierarchical interleave-vs-det", rd, ri)
+	if !bytes.Equal(hckpt, ickpt) {
+		t.Error("lstm hierarchical: final weights differ between interleaved and deterministic runs")
+	}
+}
+
+// TestLSTMInterleaveOverTCP: the LSTM interleaved launch over real loopback
+// sockets matches the in-process fabric bitwise.
+func TestLSTMInterleaveOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration")
+	}
+	cfg := quickCfg("lstm", "a2sgd", 3)
+	cfg.BucketBytes = fourBucketBytes
+	cfg.Overlap = true
+	cfg.Interleave = true
+	inproc, wantCkpt := trainWithCheckpoint(t, cfg)
+	tcp := cfg
+	tcp.GroupRunner = tcpRunner
+	rt, ckpt := trainWithCheckpoint(t, tcp)
+	assertRunsIdentical(t, "lstm interleave tcp-vs-inproc", inproc, rt)
+	if !bytes.Equal(ckpt, wantCkpt) {
+		t.Error("lstm: final weights differ between tcp and inproc")
 	}
 }
 

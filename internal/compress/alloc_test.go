@@ -44,6 +44,7 @@ func TestEncodeZeroAllocSteadyState(t *testing.T) {
 		{"topk", 1},
 		{"gaussiank", 5},
 		{"qsgd", 1},
+		{"qsgd-elias", 1},
 		{"randk", 1},
 		{"dgc", 1},
 		{"terngrad", 1},

@@ -6,6 +6,7 @@ import (
 
 	"a2sgd/internal/comm"
 	"a2sgd/internal/netsim"
+	"a2sgd/internal/tensor"
 )
 
 // Bucketed composes per-bucket instances of one algorithm over a contiguous
@@ -21,8 +22,9 @@ import (
 // algorithm; traffic and compute accounting are aggregated across buckets.
 type Bucketed struct {
 	algs     []Algorithm
-	bounds   []int     // len(algs)+1 cumulative offsets; bounds[len] = n
-	payloads []Payload // per-bucket payloads of the last whole-vector Encode
+	bounds   []int            // len(algs)+1 cumulative offsets; bounds[len] = n
+	payloads []Payload        // per-bucket payloads of the last whole-vector Encode
+	views    []tensor.VecView // per-bucket sub-view scratch of the whole-vector view calls
 }
 
 // NewBucketed builds one algorithm instance per bucket. bounds holds the
@@ -41,7 +43,7 @@ func NewBucketed(bounds []int, build func(bucket, n int) Algorithm) *Bucketed {
 		}
 		algs[b] = build(b, bounds[b+1]-bounds[b])
 	}
-	return &Bucketed{algs: algs, bounds: bounds, payloads: make([]Payload, k)}
+	return &Bucketed{algs: algs, bounds: bounds, payloads: make([]Payload, k), views: make([]tensor.VecView, k)}
 }
 
 // NumBuckets returns the bucket count.
@@ -65,6 +67,19 @@ func (bk *Bucketed) EncodeBucket(b int, gb []float32) Payload {
 // synchronized gradient into gb.
 func (bk *Bucketed) ExchangeBucket(b int, p Payload, gb []float32, c *comm.Communicator) error {
 	return bk.algs[b].Exchange(p, gb, c)
+}
+
+// EncodeBucketView runs bucket b's local compression directly from a strided
+// view of the bucket's live gradient storage (the training runtime's
+// GradView of the bucket span — no gather copy).
+func (bk *Bucketed) EncodeBucketView(b int, v *tensor.VecView) Payload {
+	return bk.algs[b].EncodeView(v)
+}
+
+// ExchangeBucketView runs bucket b's collective, reconstructing the
+// synchronized gradient directly into the view's segments (no scatter copy).
+func (bk *Bucketed) ExchangeBucketView(b int, p Payload, v *tensor.VecView, c *comm.Communicator) error {
+	return bk.algs[b].ExchangeView(p, v, c)
 }
 
 // PayloadBytesPerBucket returns the analytic per-worker payload of each
@@ -130,6 +145,35 @@ func (bk *Bucketed) Encode(g []float32) Payload {
 func (bk *Bucketed) Exchange(_ Payload, g []float32, c *comm.Communicator) error {
 	for b := range bk.algs {
 		if err := bk.algs[b].Exchange(bk.payloads[b], bk.BucketSlice(b, g), c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeView implements Algorithm: every bucket encodes in order from its
+// sub-view of v (the per-bucket sub-view structs are instance scratch).
+func (bk *Bucketed) EncodeView(v *tensor.VecView) Payload {
+	if v.Len() != bk.bounds[len(bk.bounds)-1] {
+		panic(fmt.Sprintf("compress: Bucketed.EncodeView length %d, plan covers %d",
+			v.Len(), bk.bounds[len(bk.bounds)-1]))
+	}
+	var bits int64
+	for b := range bk.algs {
+		bv := v.SliceView(bk.bounds[b], bk.bounds[b+1], &bk.views[b])
+		bk.payloads[b] = bk.algs[b].EncodeView(bv)
+		bits += bk.payloads[b].Bits
+	}
+	return Payload{Bits: bits}
+}
+
+// ExchangeView implements Algorithm, pairing with the immediately preceding
+// EncodeView (the per-bucket sub-views are rebuilt; their segment structure
+// is identical as long as v is).
+func (bk *Bucketed) ExchangeView(_ Payload, v *tensor.VecView, c *comm.Communicator) error {
+	for b := range bk.algs {
+		bv := v.SliceView(bk.bounds[b], bk.bounds[b+1], &bk.views[b])
+		if err := bk.algs[b].ExchangeView(bk.payloads[b], bv, c); err != nil {
 			return err
 		}
 	}

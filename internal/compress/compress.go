@@ -5,6 +5,7 @@ import (
 
 	"a2sgd/internal/comm"
 	"a2sgd/internal/netsim"
+	"a2sgd/internal/tensor"
 )
 
 // Payload is the result of local compression: the packed float32 words that
@@ -30,6 +31,15 @@ type Payload struct {
 //
 // An Algorithm instance belongs to a single worker: it owns per-worker state
 // (error-feedback residuals, RNG) and must not be shared across goroutines.
+//
+// The view methods are the primary implementations: every builtin encodes
+// from and reconstructs into a strided multi-segment gradient view
+// (tensor.VecView), which is how the training runtime hands a bucket the
+// layers' live gradient storage even when the bucket spans tensor
+// boundaries — no gather copy before encode, no scatter copy after decode.
+// The flat Encode/Exchange are thin adapters that wrap g in an
+// instance-owned single-segment view; a single-segment view takes exactly
+// the flat code paths, so the two surfaces are bitwise identical.
 type Algorithm interface {
 	// Name returns the identifier used in reports ("a2sgd", "topk", ...).
 	Name() string
@@ -38,10 +48,17 @@ type Algorithm interface {
 	// Payload may alias instance scratch: it is valid until the next
 	// Encode on this instance (see the Payload ownership contract).
 	Encode(g []float32) Payload
+	// EncodeView is Encode over a strided gradient view. Same contracts.
+	EncodeView(v *tensor.VecView) Payload
 	// Exchange performs the collective synchronization of the payload and
 	// writes the synchronized (worker-averaged) gradient into g. g must be
 	// the same vector passed to the immediately preceding Encode.
 	Exchange(p Payload, g []float32, c *comm.Communicator) error
+	// ExchangeView is Exchange over a strided gradient view: the
+	// synchronized gradient is reconstructed directly into the view's
+	// segments. v must be the view passed to the immediately preceding
+	// EncodeView.
+	ExchangeView(p Payload, v *tensor.VecView, c *comm.Communicator) error
 	// ExchangeKind reports which collective dominates the exchange, for
 	// the α–β network model.
 	ExchangeKind() netsim.ExchangeKind
@@ -105,6 +122,9 @@ func (o Options) validate() {
 // O(1) — there is nothing to compress (Table 2, row 1).
 type Dense struct {
 	algo comm.AllreduceAlgorithm
+
+	fv    tensor.VecView // flat-call adapter view
+	stage []float32      // contiguous staging for strided views (allreduce needs one buffer)
 }
 
 // NewDense builds the dense baseline.
@@ -121,9 +141,35 @@ func (d *Dense) Encode(g []float32) Payload {
 	return Payload{Data: g, Bits: int64(32 * len(g))}
 }
 
+// EncodeView implements Algorithm. A contiguous view keeps the zero-copy
+// identity payload; a strided one is staged into instance scratch — dense
+// has no compressed form, and the allreduce needs one contiguous buffer.
+func (d *Dense) EncodeView(v *tensor.VecView) Payload {
+	if g := v.Contiguous(); g != nil || v.Len() == 0 {
+		return d.Encode(g)
+	}
+	st := growF32(&d.stage, v.Len())
+	v.CopyTo(st)
+	return Payload{Data: st, Bits: int64(32 * v.Len())}
+}
+
 // Exchange allreduce-averages the gradient in place.
 func (d *Dense) Exchange(p Payload, g []float32, c *comm.Communicator) error {
 	return c.AllreduceMean(g, d.algo)
+}
+
+// ExchangeView implements Algorithm: in place for a contiguous view;
+// through the staged payload (which EncodeView filled) otherwise, copied
+// back into the view's segments after the collective.
+func (d *Dense) ExchangeView(p Payload, v *tensor.VecView, c *comm.Communicator) error {
+	if g := v.Contiguous(); g != nil || v.Len() == 0 {
+		return d.Exchange(p, g, c)
+	}
+	if err := c.AllreduceMean(p.Data, d.algo); err != nil {
+		return err
+	}
+	v.CopyFrom(p.Data)
+	return nil
 }
 
 // ExchangeKind implements Algorithm.

@@ -3,6 +3,7 @@ package compress
 import (
 	"a2sgd/internal/comm"
 	"a2sgd/internal/netsim"
+	"a2sgd/internal/tensor"
 )
 
 // DGC implements the core of Deep Gradient Compression (Lin et al., the
@@ -44,12 +45,23 @@ func (d *DGC) K() int { return d.k }
 // masking). The returned payload aliases instance scratch (valid until the
 // next Encode).
 func (d *DGC) Encode(g []float32) Payload {
-	if len(g) != len(d.u) {
+	return d.EncodeView(d.sc.fv.Reset1(g))
+}
+
+// EncodeView implements Algorithm: the momentum/velocity fold reads the
+// view's segments element-for-element in flattened order (the accumulators
+// stay flat, indexed by the flattened offset); selection is unchanged.
+func (d *DGC) EncodeView(view *tensor.VecView) Payload {
+	if view.Len() != len(d.u) {
 		panic("compress: gradient length changed between steps")
 	}
-	for i, x := range g {
-		d.u[i] = d.momentum*d.u[i] + x
-		d.v[i] += d.u[i]
+	offs := view.Offsets()
+	for si, seg := range view.Segments() {
+		u, vel := d.u[offs[si]:], d.v[offs[si]:]
+		for i, x := range seg {
+			u[i] = d.momentum*u[i] + x
+			vel[i] += u[i]
+		}
 	}
 	d.sc.topK(d.v, d.k)
 	d.sc.valuesAt(d.v)
@@ -63,6 +75,11 @@ func (d *DGC) Encode(g []float32) Payload {
 // Exchange implements Algorithm via the sparse allgather.
 func (d *DGC) Exchange(p Payload, g []float32, c *comm.Communicator) error {
 	return sparseExchange(p, g, c, &d.sc.agv)
+}
+
+// ExchangeView implements Algorithm, scatter-adding into the view.
+func (d *DGC) ExchangeView(p Payload, v *tensor.VecView, c *comm.Communicator) error {
+	return sparseExchangeView(p, v, c, &d.sc.agv)
 }
 
 // ExchangeKind implements Algorithm.

@@ -1,7 +1,9 @@
 package compress
 
 import (
+	"fmt"
 	"math"
+	"math/bits"
 
 	"a2sgd/internal/comm"
 	"a2sgd/internal/netsim"
@@ -111,19 +113,32 @@ func leadingZeros32(x uint32) int {
 // AllgatherV.
 type QSGDElias struct {
 	q *QSGD
-	// Reusable scratch: the entropy-coded bit stream and its bit-cast
+	// Reusable scratch: the entropy-coded word stream and its bit-cast
 	// payload (which the returned Payload aliases — valid until the next
 	// Encode), the word view of the stream being decoded, and the decoded
-	// chunk of Exchange.
-	w           bitWriter
-	data        []float32
-	decodeWords []uint32
-	buf         []float32
+	// chunk of Exchange. dirty is the high-water count of words the batched
+	// packer may have left non-zero (it OR-stores, so the stream region
+	// must be re-zeroed before the next Encode). Per-block field and
+	// variate scratch is shared with the wrapped quantizer.
+	words        []uint32
+	dirty        int
+	maxFieldBits uint // worst-case coded bits per element, from s
+	data         []float32
+	decodeWords  []uint32
+	buf          []float32
+	fv           tensor.VecView // flat-call adapter view
 }
 
 // NewQSGDElias builds the Elias-coded quantizer (levels = QuantLevels).
 func NewQSGDElias(o Options) *QSGDElias {
-	return &QSGDElias{q: NewQSGD(o)}
+	q := NewQSGD(o)
+	// The batched writer emits gamma(level+1) in one two-word store, which
+	// caps the code at 31 bits (level+1 < 2^15). The paper's s is 4; any
+	// realistic level count is orders of magnitude below the cap.
+	if q.s+1 >= 1<<15 {
+		panic(fmt.Sprintf("compress: qsgd-elias supports at most %d levels, got %d", 1<<15-2, q.s))
+	}
+	return &QSGDElias{q: q, maxFieldBits: 2 * uint(bits.Len32(uint32(q.s+1)))}
 }
 
 // Name implements Algorithm.
@@ -137,39 +152,44 @@ func (e *QSGDElias) Levels() int { return e.q.Levels() }
 // the MSB-first bit stream. The returned payload aliases instance scratch
 // (valid until the next Encode).
 func (e *QSGDElias) Encode(g []float32) Payload {
-	norm := float32(tensor.Norm2(g))
-	e.w.reset()
-	w := &e.w
+	return e.EncodeView(e.fv.Reset1(g))
+}
+
+// EncodeView implements Algorithm. Quantization runs through the shared
+// blocked kernel (the same levels, in the same RNG order, as the wrapped
+// QSGD), and each block's fields are entropy-coded in one call to the
+// batched Elias-gamma+sign writer instead of bit-by-bit — the wire bytes
+// are unchanged from the historical per-bit writer.
+func (e *QSGDElias) EncodeView(v *tensor.VecView) Payload {
+	n := v.Len()
+	norm := float32(v.Norm2())
+	// Worst case every element codes at maxFieldBits, plus the two header
+	// words and one spare word for the packer's unconditional straddle
+	// store.
+	maxWords := 2 + int((uint64(n)*uint64(e.maxFieldBits)+31)/32) + 1
+	words := growU32(&e.words, maxWords)
+	if hi := min(e.dirty, len(words)); hi > 0 {
+		clear(words[:hi])
+	}
+	words[0] = math.Float32bits(norm)
+	words[1] = math.Float32bits(comm.Float32FromIndex(uint32(n)))
+	bitPos := uint64(0)
 	if norm > 0 {
-		s := e.q.s
-		for _, x := range g {
-			sign := uint32(0)
-			a := x
-			if a < 0 {
-				sign = 1
-				a = -a
-			}
-			scaled := float64(a) / float64(norm) * float64(s)
-			level := uint32(scaled)
-			if e.q.rng.Float64() < scaled-float64(level) {
-				level++
-			}
-			if level > uint32(s) {
-				level = uint32(s)
-			}
-			eliasGammaWrite(w, level+1)
-			if level > 0 {
-				w.writeBit(sign)
-			}
+		si := 0
+		for lo := 0; lo < n; lo += quantBlock {
+			m := min(quantBlock, n-lo)
+			rnd := growF64(&e.q.rnd, m)
+			e.q.rng.Float64Vec(rnd)
+			fields := growU32(&e.q.fields, m)
+			quantizeViewBlock(fields, v, &si, lo, rnd, norm, e.q.s)
+			bitPos = tensor.EliasGammaSignPack(words[2:], fields, bitPos)
 		}
 	}
-	data := growF32(&e.data, 2+len(w.words))
-	data[0] = math.Float32frombits(math.Float32bits(norm))
-	data[1] = comm.Float32FromIndex(uint32(len(g)))
-	for i, word := range w.words {
-		data[2+i] = math.Float32frombits(word)
+	nw := 2 + int((bitPos+31)/32)
+	if nw > e.dirty {
+		e.dirty = nw
 	}
-	return Payload{Data: data, Bits: int64(w.nbits) + 64}
+	return Payload{Data: wordsPayload(words[:nw], &e.data), Bits: int64(bitPos) + 64}
 }
 
 // Decode expands one coded stream into dst.
@@ -183,10 +203,7 @@ func (e *QSGDElias) Decode(data []float32, dst []float32) {
 	if norm == 0 {
 		return
 	}
-	words := growU32(&e.decodeWords, len(data)-2)
-	for i := range words {
-		words[i] = math.Float32bits(data[2+i])
-	}
+	words := payloadWords(data[2:], &e.decodeWords)
 	r := bitReader{words: words}
 	s := float32(e.q.s)
 	for i := 0; i < n; i++ {
@@ -205,17 +222,23 @@ func (e *QSGDElias) Decode(data []float32, dst []float32) {
 // Exchange gathers every worker's variable-length stream and averages the
 // decoded gradients into g.
 func (e *QSGDElias) Exchange(p Payload, g []float32, c *comm.Communicator) error {
+	return e.ExchangeView(p, e.fv.Reset1(g), c)
+}
+
+// ExchangeView implements Algorithm: each worker's stream decodes into
+// contiguous scratch and averages into the view's segments per-lane.
+func (e *QSGDElias) ExchangeView(p Payload, v *tensor.VecView, c *comm.Communicator) error {
 	all, lens, err := c.AllgatherV(p.Data)
 	if err != nil {
 		return err
 	}
-	buf := growF32(&e.buf, len(g))
-	tensor.Zero(g)
+	buf := growF32(&e.buf, v.Len())
+	v.Zero()
 	inv := 1 / float32(c.Size())
 	off := 0
 	for _, l := range lens {
 		e.Decode(all[off:off+l], buf)
-		tensor.AXPY(g, inv, buf)
+		v.AXPY(inv, buf)
 		off += l
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 
 	"a2sgd/internal/comm"
 	"a2sgd/internal/netsim"
+	"a2sgd/internal/tensor"
 )
 
 // Periodic wraps any Algorithm with round reduction — the "reducing the
@@ -54,6 +55,14 @@ func (p *Periodic) Encode(g []float32) Payload {
 	return Payload{Bits: 0}
 }
 
+// EncodeView implements Algorithm (same step phase as Encode).
+func (p *Periodic) EncodeView(v *tensor.VecView) Payload {
+	if p.syncing() {
+		return p.inner.EncodeView(v)
+	}
+	return Payload{Bits: 0}
+}
+
 // Exchange implements Algorithm.
 func (p *Periodic) Exchange(pl Payload, g []float32, c *comm.Communicator) error {
 	defer func() { p.step++ }()
@@ -61,6 +70,16 @@ func (p *Periodic) Exchange(pl Payload, g []float32, c *comm.Communicator) error
 		return p.inner.Exchange(pl, g, c)
 	}
 	return nil // local step: g already holds the local gradient
+}
+
+// ExchangeView implements Algorithm (advances the step phase exactly like
+// Exchange).
+func (p *Periodic) ExchangeView(pl Payload, v *tensor.VecView, c *comm.Communicator) error {
+	defer func() { p.step++ }()
+	if p.syncing() {
+		return p.inner.ExchangeView(pl, v, c)
+	}
+	return nil // local step: the view's segments already hold the local gradient
 }
 
 // ExchangeKind implements Algorithm (the inner collective when it happens).

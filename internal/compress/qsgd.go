@@ -39,6 +39,7 @@ type QSGD struct {
 	decodeBuf   []float32
 	fields      []uint32
 	rnd         []float64
+	fv          tensor.VecView // flat-call adapter view
 }
 
 // NewQSGD builds a QSGD quantizer from the options (levels = QuantLevels).
@@ -102,6 +103,29 @@ func growF64(buf *[]float64, m int) []float64 {
 // width end exactly on a word boundary so blocks pack independently.
 const quantBlock = 4096
 
+// quantizeViewBlock quantizes the flattened span [lo, lo+len(fields)) of v
+// into fields, splitting the kernel call at segment boundaries. rnd holds
+// the block's pre-generated stochastic variates (parallel to fields). *si is
+// the segment cursor, resumed across blocks — blocks advance monotonically.
+// The blocks stay global (not per-segment) so the packed stream's block
+// starts remain word-aligned regardless of where tensor boundaries fall,
+// and the kernel is elementwise, so the stream is bitwise identical to
+// quantizing the flat vector.
+func quantizeViewBlock(fields []uint32, v *tensor.VecView, si *int, lo int, rnd []float64, norm float32, levels int) {
+	segs, offs := v.Segments(), v.Offsets()
+	done := 0
+	for done < len(fields) {
+		for offs[*si]+len(segs[*si]) <= lo+done {
+			*si++
+		}
+		seg := segs[*si]
+		segLo := lo + done - offs[*si]
+		m := min(len(fields)-done, len(seg)-segLo)
+		tensor.QuantizeFields(fields[done:done+m], seg[segLo:segLo+m], rnd[done:done+m], norm, levels)
+		done += m
+	}
+}
+
 // wordsPayload publishes packed words as a float32 collective payload.
 // On builds with zero-copy word views the payload aliases words directly;
 // otherwise it is converted into *data (instance scratch).
@@ -134,8 +158,15 @@ func payloadWords(data []float32, scratch *[]uint32) []uint32 {
 // first within each word: [sign:1][level:bitsPer-1] per element. The
 // returned payload aliases instance scratch (valid until the next Encode).
 func (q *QSGD) Encode(g []float32) Payload {
-	n := len(g)
-	norm := float32(tensor.Norm2(g))
+	return q.EncodeView(q.fv.Reset1(g))
+}
+
+// EncodeView implements Algorithm over a strided view. The blocked loop
+// runs over the flattened index space, so the stream — norm, RNG order,
+// packed fields — is bitwise identical to encoding the flat vector.
+func (q *QSGD) EncodeView(v *tensor.VecView) Payload {
+	n := v.Len()
+	norm := float32(v.Norm2())
 	words := growU32(&q.words, 1+q.encodedWords(n))
 	clear(words)
 	words[0] = math.Float32bits(norm)
@@ -146,12 +177,13 @@ func (q *QSGD) Encode(g []float32) Payload {
 		// cache-resident; the variates are pre-generated per block, which
 		// consumes the RNG in exactly the scalar order.
 		bitPos := uint64(0)
+		si := 0
 		for lo := 0; lo < n; lo += quantBlock {
-			blk := g[lo:min(lo+quantBlock, n)]
-			rnd := growF64(&q.rnd, len(blk))
+			m := min(quantBlock, n-lo)
+			rnd := growF64(&q.rnd, m)
 			q.rng.Float64Vec(rnd)
-			fields := growU32(&q.fields, len(blk))
-			tensor.QuantizeFields(fields, blk, rnd, norm, q.s)
+			fields := growU32(&q.fields, m)
+			quantizeViewBlock(fields, v, &si, lo, rnd, norm, q.s)
 			bitPos = tensor.PackFields(words[1:], fields, q.bitsPer, bitPos)
 		}
 	}
@@ -192,17 +224,24 @@ func (q *QSGD) Decode(data []float32, dst []float32) {
 // with allreduce-style synchronization in practice: quantized streams are
 // not reducible in their packed form.
 func (q *QSGD) Exchange(p Payload, g []float32, c *comm.Communicator) error {
-	n := len(g)
+	return q.ExchangeView(p, q.fv.Reset1(g), c)
+}
+
+// ExchangeView implements Algorithm: each worker's stream is decoded into
+// contiguous scratch and averaged into the view's segments with the
+// per-lane AXPY — bitwise identical to the flat reconstruction.
+func (q *QSGD) ExchangeView(p Payload, v *tensor.VecView, c *comm.Communicator) error {
+	n := v.Len()
 	all := growF32(&q.gatherBuf, len(p.Data)*c.Size())
 	if err := c.Allgather(p.Data, all); err != nil {
 		return err
 	}
 	buf := growF32(&q.decodeBuf, n)
-	tensor.Zero(g)
+	v.Zero()
 	inv := 1 / float32(c.Size())
 	for r := 0; r < c.Size(); r++ {
 		q.Decode(all[r*len(p.Data):(r+1)*len(p.Data)], buf)
-		tensor.AXPY(g, inv, buf)
+		v.AXPY(inv, buf)
 	}
 	return nil
 }
@@ -252,6 +291,7 @@ type TernGrad struct {
 	buf       []float32
 	fields    []uint32
 	rnd       []float64
+	fv        tensor.VecView // flat-call adapter view
 }
 
 // NewTernGrad builds a TernGrad quantizer.
@@ -267,8 +307,14 @@ func (t *TernGrad) Name() string { return "terngrad" }
 // 32-bit scale max|g|. The returned payload aliases instance scratch (valid
 // until the next Encode).
 func (t *TernGrad) Encode(g []float32) Payload {
-	n := len(g)
-	scale := tensor.AbsMax(g)
+	return t.EncodeView(t.fv.Reset1(g))
+}
+
+// EncodeView implements Algorithm over a strided view (same bitwise-flat
+// blocked structure as QSGD's).
+func (t *TernGrad) EncodeView(v *tensor.VecView) Payload {
+	n := v.Len()
+	scale := v.AbsMax()
 	words := growU32(&t.words, 1+(n*2+31)/32)
 	clear(words)
 	words[0] = math.Float32bits(scale)
@@ -277,12 +323,13 @@ func (t *TernGrad) Encode(g []float32) Payload {
 		// quantization family: level ∈ {0,1} with P(1) = |x|/scale, so it
 		// shares the QSGD kernel (SIMD on amd64) and block structure.
 		bitPos := uint64(0)
+		si := 0
 		for lo := 0; lo < n; lo += quantBlock {
-			blk := g[lo:min(lo+quantBlock, n)]
-			rnd := growF64(&t.rnd, len(blk))
+			m := min(quantBlock, n-lo)
+			rnd := growF64(&t.rnd, m)
 			t.rng.Float64Vec(rnd)
-			fields := growU32(&t.fields, len(blk))
-			tensor.QuantizeFields(fields, blk, rnd, scale, 1)
+			fields := growU32(&t.fields, m)
+			quantizeViewBlock(fields, v, &si, lo, rnd, scale, 1)
 			bitPos = tensor.PackFields(words[1:], fields, 2, bitPos)
 		}
 	}
@@ -291,13 +338,19 @@ func (t *TernGrad) Encode(g []float32) Payload {
 
 // Exchange allgathers and averages the ternary streams.
 func (t *TernGrad) Exchange(p Payload, g []float32, c *comm.Communicator) error {
-	n := len(g)
+	return t.ExchangeView(p, t.fv.Reset1(g), c)
+}
+
+// ExchangeView implements Algorithm (decode into scratch, per-lane AXPY
+// into the view's segments).
+func (t *TernGrad) ExchangeView(p Payload, v *tensor.VecView, c *comm.Communicator) error {
+	n := v.Len()
 	all := growF32(&t.gatherBuf, len(p.Data)*c.Size())
 	if err := c.Allgather(p.Data, all); err != nil {
 		return err
 	}
 	buf := growF32(&t.buf, n)
-	tensor.Zero(g)
+	v.Zero()
 	inv := 1 / float32(c.Size())
 	for r := 0; r < c.Size(); r++ {
 		chunk := all[r*len(p.Data) : (r+1)*len(p.Data)]
@@ -315,7 +368,7 @@ func (t *TernGrad) Exchange(p Payload, g []float32, c *comm.Communicator) error 
 				buf[i] = 0
 			}
 		}
-		tensor.AXPY(g, inv, buf)
+		v.AXPY(inv, buf)
 	}
 	return nil
 }

@@ -15,21 +15,33 @@ import (
 // same instance (see the Payload contract in compress.go).
 type sparseScratch struct {
 	heap []int32                // top-k index heap, sized to the bucket length
+	abs  []float32              // |v| precomputed for the heap's comparisons
 	idx  []int32                // selected indices of the current Encode
 	val  []float32              // selected values of the current Encode
 	data []float32              // packed interleaved payload of the current Encode
 	agv  comm.AllgatherVScratch // allgatherv buffers of the Exchange side
+	fv   tensor.VecView         // flat-call adapter view
 }
 
-// newSparseScratch pre-sizes the selection buffers so even the first Encode
-// on an instance allocates only if the selection outgrows k (Gaussian-K's
-// count varies around k; Top-K and Rand-K never grow).
+// selectionSlack is the pre-sizing headroom above the nominal k: Gaussian-K's
+// selected count varies around k (the threshold targets k only in
+// expectation), so sizing exactly to k made the first few Encodes grow the
+// idx/val/data buffers. A quarter of k plus a constant floor absorbs the
+// fluctuation so even the first Encode stays off the allocator.
+func selectionSlack(k int) int { return k + k/4 + 16 }
+
+// newSparseScratch pre-sizes the selection buffers with slack above k so
+// even the first Encode on an instance allocates only if the selection far
+// outgrows k (Top-K and Rand-K never grow; Gaussian-K fluctuates within the
+// slack in practice).
 func newSparseScratch(n, k int) sparseScratch {
+	s := selectionSlack(k)
 	return sparseScratch{
 		heap: make([]int32, n),
-		idx:  make([]int32, 0, k),
-		val:  make([]float32, 0, k),
-		data: make([]float32, 0, 2*k),
+		abs:  make([]float32, n),
+		idx:  make([]int32, 0, s),
+		val:  make([]float32, 0, s),
+		data: make([]float32, 0, 2*s),
 	}
 }
 
@@ -57,12 +69,15 @@ func (s *sparseScratch) valuesAt(v []float32) {
 
 // topK selects the indices of the k largest |v| entries into s.idx using an
 // index max-heap built in O(n) followed by k pops of O(log n) — the
-// O(n + k log n) computation the paper's Table 2 lists. The heap storage and
-// the result slice live on the scratch and are recycled across calls.
+// O(n + k log n) computation the paper's Table 2 lists. The magnitudes are
+// precomputed once into the abs scratch with the vector kernel so the
+// O(n log n)-ish comparison volume reads a flat array instead of re-deriving
+// |v[i]| per compare. The heap storage and the result slice live on the
+// scratch and are recycled across calls.
 func (s *sparseScratch) topK(v []float32, k int) {
 	n := len(v)
 	if cap(s.idx) < k {
-		s.idx = make([]int32, 0, k)
+		s.idx = make([]int32, 0, selectionSlack(k))
 	}
 	if k >= n {
 		s.idx = s.idx[:n]
@@ -71,13 +86,12 @@ func (s *sparseScratch) topK(v []float32, k int) {
 		}
 		return
 	}
-	abs := func(i int32) float32 {
-		x := v[i]
-		if x < 0 {
-			return -x
-		}
-		return x
+	if cap(s.abs) < n {
+		s.abs = make([]float32, n)
 	}
+	av := s.abs[:n]
+	tensor.AbsInto(av, v)
+	abs := func(i int32) float32 { return av[i] }
 	if cap(s.heap) < n {
 		s.heap = make([]int32, n)
 	}
@@ -145,6 +159,30 @@ func sparseExchange(p Payload, g []float32, c *comm.Communicator, sc *comm.Allga
 	return nil
 }
 
+// sparseExchangeView is sparseExchange reconstructing directly into a
+// strided view: zero the segments, then scatter-add each gathered
+// (index, value) pair through the view's offset table. The adds land in the
+// same order as the flat loop, so the result is bitwise identical.
+func sparseExchangeView(p Payload, v *tensor.VecView, c *comm.Communicator, sc *comm.AllgatherVScratch) error {
+	if g := v.Contiguous(); g != nil || v.Len() == 0 {
+		return sparseExchange(p, g, c, sc)
+	}
+	all, _, err := c.AllgatherVInto(p.Data, sc)
+	if err != nil {
+		return err
+	}
+	v.Zero()
+	inv := 1 / float32(c.Size())
+	n := v.Len()
+	for i := 0; i+1 < len(all); i += 2 {
+		ix := int(comm.Float32ToIndex(all[i]))
+		if ix >= 0 && ix < n {
+			v.AddAt(ix, all[i+1]*inv)
+		}
+	}
+	return nil
+}
+
 // errorFeedback is the residual memory shared by the sparsifiers: the
 // un-transmitted part of each gradient is accumulated and re-injected the
 // next step, the standard memory-compensation of Stich et al. (the paper's
@@ -166,6 +204,19 @@ func (e *errorFeedback) accumulate(g []float32) []float32 {
 	for i, r := range e.residual {
 		e.acc[i] = r + g[i]
 	}
+	return e.acc
+}
+
+// accumulateView is accumulate over a strided view: acc = residual, then
+// acc += v segment-by-segment with the per-lane vector add — element-for-
+// element the same r + g[i] sum, so bitwise identical to accumulate on the
+// flat vector.
+func (e *errorFeedback) accumulateView(v *tensor.VecView) []float32 {
+	if v.Len() != len(e.residual) {
+		panic("compress: gradient length changed between steps")
+	}
+	copy(e.acc, e.residual)
+	v.AddInto(e.acc)
 	return e.acc
 }
 
@@ -208,7 +259,14 @@ func (t *TopK) K() int { return t.k }
 // Encode selects the top-k entries of residual+g by magnitude. The returned
 // payload aliases instance scratch (valid until the next Encode).
 func (t *TopK) Encode(g []float32) Payload {
-	acc := t.ef.accumulate(g)
+	return t.EncodeView(t.sc.fv.Reset1(g))
+}
+
+// EncodeView implements Algorithm: the error-compensated gradient is
+// accumulated from the view's segments; selection runs on the contiguous
+// accumulator as usual.
+func (t *TopK) EncodeView(v *tensor.VecView) Payload {
+	acc := t.ef.accumulateView(v)
 	t.sc.topK(acc, t.k)
 	t.sc.valuesAt(acc)
 	t.ef.retain(acc, t.sc.idx)
@@ -218,6 +276,11 @@ func (t *TopK) Encode(g []float32) Payload {
 // Exchange implements Algorithm via the sparse allgather.
 func (t *TopK) Exchange(p Payload, g []float32, c *comm.Communicator) error {
 	return sparseExchange(p, g, c, &t.sc.agv)
+}
+
+// ExchangeView implements Algorithm, scatter-adding into the view.
+func (t *TopK) ExchangeView(p Payload, v *tensor.VecView, c *comm.Communicator) error {
+	return sparseExchangeView(p, v, c, &t.sc.agv)
 }
 
 // ExchangeKind implements Algorithm: AllgatherV (the selected count is fixed
@@ -249,16 +312,26 @@ func (t *TopK) LoadState(s State) { s.vec("ef", t.ef.residual) }
 // transmits every entry above the threshold. The selected count varies
 // around k, which is why the exchange is an AllgatherV.
 type GaussianK struct {
-	k  int
-	n  int
-	ef errorFeedback
-	sc sparseScratch
+	k      int
+	n      int
+	ef     errorFeedback
+	sc     sparseScratch
+	selblk []int32 // per-block selection output of GaussTailSelect
 }
+
+// gaussSelBlock is the chunk size of the vectorized threshold scan: large
+// enough to amortize the kernel call, small enough that the int32 index
+// block stays cache-resident.
+const gaussSelBlock = 4096
 
 // NewGaussianK builds a Gaussian-K sparsifier from the options.
 func NewGaussianK(o Options) *GaussianK {
 	o.validate()
-	return &GaussianK{k: o.K(), n: o.N, ef: newErrorFeedback(o.N), sc: newSparseScratch(0, o.K())}
+	return &GaussianK{
+		k: o.K(), n: o.N, ef: newErrorFeedback(o.N),
+		sc:     newSparseScratch(0, o.K()),
+		selblk: make([]int32, gaussSelBlock),
+	}
 }
 
 // Name implements Algorithm.
@@ -267,18 +340,27 @@ func (gk *GaussianK) Name() string { return "gaussiank" }
 // Encode estimates the Gaussian threshold and selects entries above it. The
 // returned payload aliases instance scratch (valid until the next Encode).
 func (gk *GaussianK) Encode(g []float32) Payload {
-	acc := gk.ef.accumulate(g)
+	return gk.EncodeView(gk.sc.fv.Reset1(g))
+}
+
+// EncodeView implements Algorithm. The threshold scan runs in gaussSelBlock
+// chunks through the vectorized tail selector; its float64 |x−µ| > τ
+// predicate is element-for-element the scalar one, so the selection — and
+// with it the residual and the payload — is bitwise unchanged.
+func (gk *GaussianK) EncodeView(v *tensor.VecView) Payload {
+	acc := gk.ef.accumulateView(v)
 	fit := stats.FitGaussian(acc)
 	tau := fit.TailThreshold(float64(gk.k) / float64(gk.n))
 	idx, val := gk.sc.idx[:0], gk.sc.val[:0]
-	for i, x := range acc {
-		d := float64(x) - fit.Mu
-		if d < 0 {
-			d = -d
+	for lo := 0; lo < len(acc); lo += gaussSelBlock {
+		hi := lo + gaussSelBlock
+		if hi > len(acc) {
+			hi = len(acc)
 		}
-		if d > tau {
-			idx = append(idx, int32(i))
-			val = append(val, x)
+		nsel := tensor.GaussTailSelect(gk.selblk, acc[lo:hi], int32(lo), fit.Mu, tau)
+		for _, ix := range gk.selblk[:nsel] {
+			idx = append(idx, ix)
+			val = append(val, acc[ix])
 		}
 	}
 	// Degenerate safety net: a constant gradient has σ=0 and selects
@@ -309,6 +391,11 @@ func (gk *GaussianK) Encode(g []float32) Payload {
 // Exchange implements Algorithm via the sparse allgather.
 func (gk *GaussianK) Exchange(p Payload, g []float32, c *comm.Communicator) error {
 	return sparseExchange(p, g, c, &gk.sc.agv)
+}
+
+// ExchangeView implements Algorithm, scatter-adding into the view.
+func (gk *GaussianK) ExchangeView(p Payload, v *tensor.VecView, c *comm.Communicator) error {
+	return sparseExchangeView(p, v, c, &gk.sc.agv)
 }
 
 // ExchangeKind implements Algorithm.
@@ -361,7 +448,13 @@ func (r *RandK) Name() string { return "randk" }
 // Encode samples k distinct coordinates (Floyd's algorithm). The returned
 // payload aliases instance scratch (valid until the next Encode).
 func (r *RandK) Encode(g []float32) Payload {
-	acc := r.ef.accumulate(g)
+	return r.EncodeView(r.sc.fv.Reset1(g))
+}
+
+// EncodeView implements Algorithm: accumulation reads the view's segments;
+// sampling is over flattened coordinates and unchanged.
+func (r *RandK) EncodeView(v *tensor.VecView) Payload {
+	acc := r.ef.accumulateView(v)
 	clear(r.seen)
 	idx := r.sc.idx[:0]
 	for j := r.n - r.k; j < r.n; j++ {
@@ -381,6 +474,11 @@ func (r *RandK) Encode(g []float32) Payload {
 // Exchange implements Algorithm via the sparse allgather.
 func (r *RandK) Exchange(p Payload, g []float32, c *comm.Communicator) error {
 	return sparseExchange(p, g, c, &r.sc.agv)
+}
+
+// ExchangeView implements Algorithm, scatter-adding into the view.
+func (r *RandK) ExchangeView(p Payload, v *tensor.VecView, c *comm.Communicator) error {
+	return sparseExchangeView(p, v, c, &r.sc.agv)
 }
 
 // ExchangeKind implements Algorithm.

@@ -95,6 +95,7 @@ type A2SGD struct {
 	payload   [2]float32
 	mu        [2]float32
 	gatherBuf []float32
+	fv        tensor.VecView // flat-call adapter view
 }
 
 // Option configures an A2SGD instance.
@@ -167,26 +168,39 @@ func (a *A2SGD) Stats() Stats { return a.stats }
 // float32 values — 64 bits — backed by instance scratch (valid until the
 // next Encode on this instance).
 func (a *A2SGD) Encode(g []float32) compress.Payload {
-	s := Measure(g)
+	return a.EncodeView(a.fv.Reset1(g))
+}
+
+// EncodeView implements compress.Algorithm over a strided gradient view:
+// the signed means reduce across the segments in flattened order, and the
+// error vector (one flat buffer, indexed by the flattened offset) is
+// materialized segment by segment.
+func (a *A2SGD) EncodeView(v *tensor.VecView) compress.Payload {
+	mp, mn, np := v.ParSignedMeans()
+	s := Stats{MuPos: mp, MuNeg: mn, NPos: np}
 	if a.oneMean {
 		// Single signed mean over all entries. Encoding it as µ+ = m and
 		// µ− = −m makes pos·µ+ − neg·µ− equal m at every coordinate, so
 		// the downstream reconstruction code is shared with the two-level
 		// scheme.
-		m := float32(tensor.Sum(g) / float64(len(g)))
-		s = Stats{MuPos: m, MuNeg: -m, NPos: len(g)}
+		m := float32(v.Sum() / float64(v.Len()))
+		s = Stats{MuPos: m, MuNeg: -m, NPos: v.Len()}
 	}
 	a.stats = s
 	if a.mode == Faithful && a.ef {
-		if len(a.errorVec) != len(g) {
-			a.errorVec = make([]float32, len(g))
+		if len(a.errorVec) != v.Len() {
+			a.errorVec = make([]float32, v.Len())
 		}
 		// ε = g − enc(g)
-		for i, x := range g {
-			if x >= 0 {
-				a.errorVec[i] = x - s.MuPos
-			} else {
-				a.errorVec[i] = x + s.MuNeg
+		offs := v.Offsets()
+		for si, seg := range v.Segments() {
+			ev := a.errorVec[offs[si]:]
+			for i, x := range seg {
+				if x >= 0 {
+					ev[i] = x - s.MuPos
+				} else {
+					ev[i] = x + s.MuNeg
+				}
 			}
 		}
 	}
@@ -197,6 +211,13 @@ func (a *A2SGD) Encode(g []float32) compress.Payload {
 // Exchange allreduce-averages the two means (Alg. 1 line 5) and rebuilds
 // the synchronized gradient in g (line 6).
 func (a *A2SGD) Exchange(p compress.Payload, g []float32, c *comm.Communicator) error {
+	return a.ExchangeView(p, a.fv.Reset1(g), c)
+}
+
+// ExchangeView implements compress.Algorithm: the two-scalar collective is
+// unchanged, and the reconstruction loops write directly into the view's
+// segments (per-element arithmetic, bitwise identical to the flat loops).
+func (a *A2SGD) ExchangeView(p compress.Payload, v *tensor.VecView, c *comm.Communicator) error {
 	a.mu[0], a.mu[1] = p.Data[0], p.Data[1]
 	mu := a.mu[:]
 	if a.allgather {
@@ -221,33 +242,41 @@ func (a *A2SGD) Exchange(p compress.Payload, g []float32, c *comm.Communicator) 
 		return err
 	}
 	gPos, gNeg := mu[0], mu[1]
+	segs, offs := v.Segments(), v.Offsets()
 	switch {
 	case !a.ef:
 		// Ablation: enc-only reconstruction.
-		for i, x := range g {
-			if x >= 0 {
-				g[i] = gPos
-			} else {
-				g[i] = -gNeg
+		for _, seg := range segs {
+			for i, x := range seg {
+				if x >= 0 {
+					seg[i] = gPos
+				} else {
+					seg[i] = -gNeg
+				}
 			}
 		}
 	case a.mode == Faithful:
 		// g' = ε + pos·µ̄+ − neg·µ̄−
-		for i, x := range g {
-			if x >= 0 {
-				g[i] = a.errorVec[i] + gPos
-			} else {
-				g[i] = a.errorVec[i] - gNeg
+		for si, seg := range segs {
+			ev := a.errorVec[offs[si]:]
+			for i, x := range seg {
+				if x >= 0 {
+					seg[i] = ev[i] + gPos
+				} else {
+					seg[i] = ev[i] - gNeg
+				}
 			}
 		}
 	default: // Fused
 		dPos := gPos - a.stats.MuPos
 		dNeg := gNeg - a.stats.MuNeg
-		for i, x := range g {
-			if x >= 0 {
-				g[i] = x + dPos
-			} else {
-				g[i] = x - dNeg
+		for _, seg := range segs {
+			for i, x := range seg {
+				if x >= 0 {
+					seg[i] = x + dPos
+				} else {
+					seg[i] = x - dNeg
+				}
 			}
 		}
 	}

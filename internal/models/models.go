@@ -62,8 +62,7 @@ type Model interface {
 	// StepInterleaved is Step with gradient-readiness reporting: onReady(lo)
 	// is invoked during the backward pass whenever the flattened gradient
 	// elements [lo, NumParams()) have become final, with strictly decreasing
-	// offsets and a guaranteed final onReady(0). Models whose backward
-	// finalizes everything at once (truncated BPTT) report only onReady(0).
+	// offsets and a guaranteed final onReady(0).
 	StepInterleaved(b Batch, onReady func(lo int)) float64
 	// Eval runs forward only and returns (loss, metric).
 	Eval(b Batch) (loss float64, metric float64)
@@ -80,11 +79,12 @@ type Model interface {
 	// ScatterGradsRange writes src[lo:hi] back into the layers — the
 	// per-bucket inverse of GatherGradsRange.
 	ScatterGradsRange(src []float32, lo, hi int)
-	// GradSlice returns the live gradient storage backing the flattened
-	// elements [lo, hi) when they fall inside one parameter tensor, or nil
-	// when the range spans tensors. Non-nil lets a bucket be encoded and
-	// reconstructed in place, with no gather or scatter copy.
-	GradSlice(lo, hi int) []float32
+	// GradView writes into dst a view of the live gradient storage backing
+	// the flattened elements [lo, hi), spanning parameter tensors as needed,
+	// and returns dst. Every bucket is encoded from and reconstructed into
+	// such a view in place — no gather or scatter copy, regardless of where
+	// its boundaries fall.
+	GradView(lo, hi int, dst *tensor.VecView) *tensor.VecView
 	// ParamSegments reports the per-tensor boundaries of the flattened
 	// vector, in GatherGrads order, for layer-granular bucket planning.
 	ParamSegments() []nn.Segment
@@ -141,13 +141,15 @@ func (c *classifier) GatherGradsRange(dst []float32, lo, hi int) {
 func (c *classifier) ScatterGradsRange(src []float32, lo, hi int) {
 	c.net.ScatterGradsRange(src, lo, hi)
 }
-func (c *classifier) GradSlice(lo, hi int) []float32 { return c.net.GradSlice(lo, hi) }
-func (c *classifier) ParamSegments() []nn.Segment    { return c.net.ParamSegments() }
-func (c *classifier) GatherParams(dst []float32)     { c.net.GatherParams(dst) }
-func (c *classifier) ScatterParams(src []float32)    { c.net.ScatterParams(src) }
-func (c *classifier) StateLen() int                  { return c.net.StateLen() }
-func (c *classifier) GatherState(dst []float32)      { c.net.GatherState(dst) }
-func (c *classifier) ScatterState(src []float32)     { c.net.ScatterState(src) }
+func (c *classifier) GradView(lo, hi int, dst *tensor.VecView) *tensor.VecView {
+	return c.net.GradView(lo, hi, dst)
+}
+func (c *classifier) ParamSegments() []nn.Segment { return c.net.ParamSegments() }
+func (c *classifier) GatherParams(dst []float32)  { c.net.GatherParams(dst) }
+func (c *classifier) ScatterParams(src []float32) { c.net.ScatterParams(src) }
+func (c *classifier) StateLen() int               { return c.net.StateLen() }
+func (c *classifier) GatherState(dst []float32)   { c.net.GatherState(dst) }
+func (c *classifier) ScatterState(src []float32)  { c.net.ScatterState(src) }
 
 // Config selects a model family and scale.
 type Config struct {
@@ -346,14 +348,18 @@ func newResNet20(rng *tensor.RNG, cfg Config) Model {
 	return &classifier{name: "resnet20", net: nn.NewNetwork(layers...)}
 }
 
-// lstmModel adapts nn.LSTMLM to the Model interface.
+// lstmModel adapts nn.LSTMLM to the Model interface. The parameter list and
+// the full gradient view are cached on first use (satellite of the hot-path
+// work: the per-step accessors must not rebuild them).
 type lstmModel struct {
-	lm *nn.LSTMLM
+	lm       *nn.LSTMLM
+	gradView tensor.VecView
 }
 
-func (l *lstmModel) Name() string       { return "lstm" }
-func (l *lstmModel) NumParams() int     { return l.lm.NumParams() }
-func (l *lstmModel) Metric() Metric     { return MetricPerplexity }
+func (l *lstmModel) Name() string   { return "lstm" }
+func (l *lstmModel) NumParams() int { return l.lm.NumParams() }
+func (l *lstmModel) Metric() Metric { return MetricPerplexity }
+
 func (l *lstmModel) Params() []nn.Param { return l.lm.Params() }
 
 func (l *lstmModel) Step(b Batch) float64 {
@@ -362,12 +368,13 @@ func (l *lstmModel) Step(b Batch) float64 {
 	return ce
 }
 
-// StepInterleaved reports only the final onReady(0): truncated BPTT
-// accumulates every parameter's gradient across all timesteps, so no
-// gradient is final until the whole backward completes.
+// StepInterleaved reports per-tensor readiness from inside truncated BPTT:
+// the last timestep of the backward finalizes the output projection first,
+// then each LSTM layer top-down, then the embedding — see
+// nn.LSTMLM.BackwardInterleaved.
 func (l *lstmModel) StepInterleaved(b Batch, onReady func(lo int)) float64 {
-	ce := l.Step(b)
-	onReady(0)
+	ce := l.lm.Forward(b.Tokens, true)
+	l.lm.BackwardInterleaved(onReady)
 	return ce
 }
 
@@ -406,8 +413,11 @@ func (l *lstmModel) ScatterGradsRange(src []float32, lo, hi int) {
 	nn.ScatterRange(l.lm.Params(), src, lo, hi)
 }
 
-func (l *lstmModel) GradSlice(lo, hi int) []float32 {
-	return nn.GradSliceOf(l.lm.Params(), lo, hi)
+func (l *lstmModel) GradView(lo, hi int, dst *tensor.VecView) *tensor.VecView {
+	if l.gradView.Len() == 0 {
+		nn.GradViewOf(l.lm.Params(), &l.gradView)
+	}
+	return l.gradView.SliceView(lo, hi, dst)
 }
 
 func (l *lstmModel) ParamSegments() []nn.Segment { return nn.SegmentsOf(l.lm.Params()) }

@@ -30,6 +30,12 @@ type LSTMLM struct {
 	GE, GWy, GBy []float32
 	GWx, GWh, GB [][]float32
 
+	// Flattened-parameter cache, built on first use: the distributed step
+	// asks for the parameter list and offset table every iteration, and
+	// BackwardInterleaved reports readiness in terms of the offsets.
+	params   []Param
+	paramOff []int
+
 	// caches for BPTT, indexed [layer][t]
 	tokens  [][]int
 	xs      [][]*tensor.Mat // layer inputs per t: (B, in)
@@ -83,8 +89,11 @@ func NewDeepLSTMLM(rng *tensor.RNG, vocab, embed, hidden, layers int) *LSTMLM {
 	return m
 }
 
-// Params returns the learnable tensors.
-func (m *LSTMLM) Params() []Param {
+// buildCache flattens the parameter list and its prefix-offset table once.
+// Parameter order: E, then (Wx, Wh, b) per layer, then Wy, By — so the
+// offset of layer l's first tensor is paramOff[1+3l] and the output
+// projection starts at paramOff[1+3*Layers].
+func (m *LSTMLM) buildCache() {
 	ps := []Param{{Name: "lstm.E", W: m.E, G: m.GE}}
 	for l := 0; l < m.Layers; l++ {
 		ps = append(ps,
@@ -97,16 +106,32 @@ func (m *LSTMLM) Params() []Param {
 		Param{Name: "lstm.Wy", W: m.Wy, G: m.GWy},
 		Param{Name: "lstm.by", W: m.By, G: m.GBy},
 	)
-	return ps
+	m.params = ps
+	m.paramOff = ParamOffsets(ps)
+}
+
+// Params returns the learnable tensors. The slice is cached; callers must
+// not modify it.
+func (m *LSTMLM) Params() []Param {
+	if m.params == nil {
+		m.buildCache()
+	}
+	return m.params
+}
+
+// ParamOffsets returns the cached prefix-offset table of the flattened
+// parameter vector (one trailing entry = NumParams()).
+func (m *LSTMLM) ParamOffsets() []int {
+	if m.params == nil {
+		m.buildCache()
+	}
+	return m.paramOff
 }
 
 // NumParams returns the learnable parameter count.
 func (m *LSTMLM) NumParams() int {
-	n := 0
-	for _, p := range m.Params() {
-		n += len(p.W)
-	}
-	return n
+	off := m.ParamOffsets()
+	return off[len(off)-1]
 }
 
 func sigmoid(x float32) float32 {
@@ -240,7 +265,22 @@ func (m *LSTMLM) Forward(tokens [][]int, train bool) float64 {
 
 // Backward runs truncated BPTT over the cached sequence, accumulating
 // parameter gradients. The loss is the mean CE per token, matching Forward.
-func (m *LSTMLM) Backward() {
+func (m *LSTMLM) Backward() { m.BackwardInterleaved(nil) }
+
+// BackwardInterleaved is Backward with gradient-readiness reporting. BPTT
+// accumulates every parameter's gradient across all timesteps, so nothing is
+// final until the loop reaches t = 0 — but *within* that last timestep the
+// stack unwinds top-down, finalizing tensors in reverse flattened order:
+// the output projection (Wy, By) right after its t = 0 accumulation, then
+// each layer's (Wx, Wh, b) from the top layer down, and the embedding last
+// (its gradient is written by layer 0's input backprop). onReady is invoked
+// with strictly decreasing offsets lo such that the flattened gradient
+// elements [lo, NumParams()) are final, ending with a guaranteed
+// onReady(0). nil onReady skips the reporting (plain Backward).
+func (m *LSTMLM) BackwardInterleaved(onReady func(lo int)) {
+	if m.params == nil {
+		m.buildCache()
+	}
 	B := len(m.tokens)
 	T := len(m.dlogits)
 	H := m.Hidden
@@ -273,6 +313,10 @@ func (m *LSTMLM) Backward() {
 		dhOut := tensor.NewMat(B, H)
 		tensor.MatMul(dhOut, dlog, wy)
 		tensor.Add(dh[top].Data, dhOut.Data)
+		if t == 0 && onReady != nil {
+			// No later write touches GWy/GBy: the projection span is final.
+			onReady(m.paramOff[1+3*m.Layers])
+		}
 
 		// Backward through the stack, top to bottom; dx of layer l feeds
 		// dh of layer l−1 (same timestep).
@@ -322,6 +366,15 @@ func (m *LSTMLM) Backward() {
 			// dh_{t-1}, dc_{t-1} for this layer.
 			tensor.MatMul(newDh, dz, wh)
 			dh[l], dc[l] = newDh, newDc
+			if t == 0 && onReady != nil {
+				if l == 0 {
+					// Layer 0's input backprop wrote the last embedding
+					// gradients, so the whole vector is final.
+					onReady(0)
+				} else {
+					onReady(m.paramOff[1+3*l])
+				}
+			}
 		}
 	}
 	// Release caches.

@@ -56,7 +56,9 @@ type Network struct {
 	// must not be mutated after the first flattened-view call.
 	params   []Param
 	layerOff []int // flattened start offset of each layer's params
+	paramOff []int // flattened start offset of each param (+1 total entry)
 	nParams  int
+	gradView tensor.VecView // all gradient tensors, in flattened order
 }
 
 // NewNetwork builds a sequential network.
@@ -76,7 +78,32 @@ func (n *Network) buildCache() {
 		}
 	}
 	n.params = ps
+	n.paramOff = ParamOffsets(ps)
 	n.nParams = off
+	GradViewOf(ps, &n.gradView)
+}
+
+// ParamOffsets returns the flattened start offset of each parameter in ps,
+// plus one trailing entry holding the total length — the prefix-offset table
+// that lets range lookups binary-search instead of rescanning the parameter
+// list.
+func ParamOffsets(ps []Param) []int {
+	off := make([]int, len(ps)+1)
+	for i, p := range ps {
+		off[i+1] = off[i] + len(p.W)
+	}
+	return off
+}
+
+// GradViewOf resets dst to a strided view over every gradient tensor of ps
+// in flattened order and returns dst. Sub-range views are then cheap
+// SliceView calls on the result.
+func GradViewOf(ps []Param, dst *tensor.VecView) *tensor.VecView {
+	segs := make([][]float32, len(ps))
+	for i, p := range ps {
+		segs[i] = p.G
+	}
+	return dst.Reset(segs)
 }
 
 // Forward runs all layers in order.
@@ -183,32 +210,27 @@ func (n *Network) BackwardInterleaved(dout *tensor.Mat, onReady func(lo int)) *t
 	return dout
 }
 
-// GradSlice returns the live gradient storage backing the flattened elements
-// [lo, hi) when the range falls inside a single parameter tensor, or nil when
-// it spans tensors. A non-nil slice lets the bucketed pipeline encode and
-// reconstruct such a bucket in place, skipping both the gather copy and the
-// scatter copy.
-func (n *Network) GradSlice(lo, hi int) []float32 {
-	return GradSliceOf(n.Params(), lo, hi)
+// GradView writes into dst a view of the live gradient storage backing the
+// flattened elements [lo, hi) — spanning as many parameter tensors as the
+// range covers, sub-slicing the boundary tensors — and returns dst. The
+// bucketed pipeline encodes from and reconstructs into these views directly,
+// so no bucket pays a gather copy before encode or a scatter copy after
+// decode, regardless of where its boundaries fall.
+func (n *Network) GradView(lo, hi int, dst *tensor.VecView) *tensor.VecView {
+	if n.params == nil {
+		n.buildCache()
+	}
+	return n.gradView.SliceView(lo, hi, dst)
 }
 
-// GradSliceOf is the standalone form of GradSlice over a parameter list.
-func GradSliceOf(ps []Param, lo, hi int) []float32 {
-	if lo < 0 || hi < lo {
-		return nil
+// ParamOffsets returns the cached prefix-offset table of the flattened
+// parameter vector (len(Params())+1 entries; the last equals NumParams()).
+// Callers must not modify it.
+func (n *Network) ParamOffsets() []int {
+	if n.params == nil {
+		n.buildCache()
 	}
-	off := 0
-	for _, p := range ps {
-		end := off + len(p.G)
-		if lo >= off && hi <= end {
-			return p.G[lo-off : hi-off]
-		}
-		if end > lo {
-			return nil // the range starts inside p but spills past it
-		}
-		off = end
-	}
-	return nil
+	return n.paramOff
 }
 
 // ScatterGrads writes the flattened gradient vector back into the layers.

@@ -1,6 +1,9 @@
 package tensor
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Stochastic level quantization and bit packing — the shared inner loops of
 // the QSGD and TernGrad encoders. Split out of the compress package so the
@@ -77,4 +80,59 @@ func PackFields(words []uint32, fields []uint32, bitsPer uint, bitPos uint64) ui
 		}
 	}
 	return bitPos + uint64(len(fields))*uint64(bitsPer)
+}
+
+// EliasGammaSignPack is the batched Elias-gamma bit-writer behind the QSGD
+// Elias encoder: for every quantization field (signbit | level<<1, the
+// QuantizeFields layout) it emits gamma(level+1) followed by the sign bit
+// iff level > 0, MSB-first starting at stream offset bitPos, and returns the
+// advanced offset. The code for one field is built in a register and ORed
+// into the word stream with one unconditional two-word store, replacing the
+// bit-at-a-time writer.
+//
+// Contract: every field's level must satisfy level+1 < 1<<15 (the QSGD
+// constructor guard), so one code is at most 30 bits and never spans more
+// than two words; words must be zero from bit bitPos on and hold one spare
+// word past the final bit (the second store of the pair is unconditional).
+// On amd64 the loop is the assembly kernel in simd_amd64.s; the scalar loop
+// below is the portable fallback, bit-identical by construction.
+func EliasGammaSignPack(words []uint32, fields []uint32, bitPos uint64) uint64 {
+	return eliasPackArch(words, fields, bitPos)
+}
+
+func eliasPackScalar(words []uint32, fields []uint32, bitPos uint64) uint64 {
+	for _, f := range fields {
+		level := f >> 1
+		v := level + 1
+		n0 := uint(bits.Len32(v)) - 1
+		width := 2*n0 + 1
+		code := uint64(v)
+		if level > 0 {
+			code = code<<1 | uint64(f&1)
+			width++
+		}
+		w := bitPos >> 5
+		o := uint(bitPos & 31)
+		tmp := code << (64 - width - o)
+		words[w] |= uint32(tmp >> 32)
+		words[w+1] |= uint32(tmp)
+		bitPos += uint64(width)
+	}
+	return bitPos
+}
+
+// EliasGammaSignBits returns the exact stream length in bits of
+// EliasGammaSignPack over fields — the sizing pass that lets the encoder
+// pre-zero and bound its word buffer before packing.
+func EliasGammaSignBits(fields []uint32) uint64 {
+	var n uint64
+	for _, f := range fields {
+		level := f >> 1
+		n0 := uint64(bits.Len32(level+1)) - 1
+		n += 2*n0 + 1
+		if level > 0 {
+			n++
+		}
+	}
+	return n
 }

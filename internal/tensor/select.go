@@ -1,0 +1,53 @@
+package tensor
+
+import "math"
+
+// Selection-support kernels for the sparsifying compressors: a vectorized
+// |v| materialization feeding Top-K's heap comparisons, and the Gaussian
+// tail test that picks GaussianK's candidate indices. Both dispatch to SSE2
+// on amd64 (simd_amd64.s) with the scalar loops below as portable fallbacks
+// and odd-tail cleanup.
+
+// AbsInto computes dst[i] = |src[i]| by clearing the sign bit — the ANDPS
+// semantics of the vector kernel, so -0.0 maps to +0.0 on every build
+// (ordered comparisons cannot tell the two apart, keeping heap selection
+// identical either way). Panics when lengths differ.
+func AbsInto(dst, src []float32) {
+	checkLen(len(dst), len(src))
+	vecAbsInto(dst, src)
+}
+
+func absIntoScalar(dst, src []float32) {
+	for i, x := range src {
+		dst[i] = math.Float32frombits(math.Float32bits(x) &^ (1 << 31))
+	}
+}
+
+// GaussTailSelect appends to dst the flattened indices base+i of every
+// element with |float64(src[i]) - mu| > tau, in ascending order, and returns
+// how many were selected. The predicate is evaluated in float64 exactly as
+// the scalar loop (NaN distances never select). dst must have room for
+// len(src) indices — selection is expected sparse, but the kernel's bound is
+// the worst case.
+func GaussTailSelect(dst []int32, src []float32, base int32, mu, tau float64) int {
+	_ = dst[:len(src)]
+	nsel, done := gaussTailArch(dst, src, base, mu, tau)
+	for i, x := range src[done:] {
+		if d := math.Abs(float64(x) - mu); d > tau {
+			dst[nsel] = base + int32(done+i)
+			nsel++
+		}
+	}
+	return nsel
+}
+
+func gaussTailScalar(dst []int32, src []float32, base int32, mu, tau float64) int {
+	nsel := 0
+	for i, x := range src {
+		if d := math.Abs(float64(x) - mu); d > tau {
+			dst[nsel] = base + int32(i)
+			nsel++
+		}
+	}
+	return nsel
+}

@@ -54,6 +54,23 @@ func qsgdFieldsKernel(fields *uint32, src *float32, rnd *float64, n int, norm fl
 //go:noescape
 func signedMeansKernel(v *float32, n int) (sp, sn float64, nNeg int64)
 
+//go:noescape
+func absKernel(dst, src *float32, n int)
+
+// gaussTailKernel scans an even number of elements and stores base+i for
+// every i whose float64 distance from mu exceeds tau; returns the selected
+// count. The Go wrapper peels the odd tail.
+//
+//go:noescape
+func gaussTailKernel(dst *int32, src *float32, n int, base int32, mu, tau float64) int64
+
+// eliasPackKernel is the batched Elias-gamma+sign writer
+// (EliasGammaSignPack); scalar amd64 code — the win over the portable loop
+// is BSR for the bit length and the branch-free two-word store.
+//
+//go:noescape
+func eliasPackKernel(words *uint32, fields *uint32, n int, bitPos uint64) uint64
+
 func vecAdd(dst, src Vec) {
 	if len(dst) >= simdMinLen {
 		addKernel(&dst[0], &src[0], len(dst))
@@ -110,4 +127,31 @@ func quantFieldsArch(fields []uint32, g []float32, rnd []float64, norm float32, 
 	}
 	qsgdFieldsKernel(&fields[0], &g[0], &rnd[0], n, float64(norm), float64(levels))
 	return n
+}
+
+func vecAbsInto(dst, src Vec) {
+	if len(src) >= simdMinLen {
+		absKernel(&dst[0], &src[0], len(src))
+		return
+	}
+	absIntoScalar(dst, src)
+}
+
+// gaussTailArch runs the selection kernel over the longest even prefix of
+// src, returning the selected count and the prefix length consumed; the
+// caller finishes the tail with the scalar predicate.
+func gaussTailArch(dst []int32, src []float32, base int32, mu, tau float64) (nsel, done int) {
+	done = len(src) &^ 1
+	if done < simdMinLen {
+		return 0, 0
+	}
+	nsel = int(gaussTailKernel(&dst[0], &src[0], done, base, mu, tau))
+	return nsel, done
+}
+
+func eliasPackArch(words []uint32, fields []uint32, bitPos uint64) uint64 {
+	if len(fields) == 0 {
+		return bitPos
+	}
+	return eliasPackKernel(&words[0], &fields[0], len(fields), bitPos)
 }

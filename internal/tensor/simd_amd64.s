@@ -278,6 +278,164 @@ qf2:
 qfDone:
 	RET
 
+// func absKernel(dst, src *float32, n int)
+// dst[i] = |src[i]| by clearing the sign bit (ANDPS) — feeds Top-K's heap
+// comparisons; -0.0 maps to +0.0, indistinguishable under ordered compares.
+TEXT ·absKernel(SB), NOSPLIT, $0-24
+	MOVQ   dst+0(FP), DI
+	MOVQ   src+8(FP), SI
+	MOVQ   n+16(FP), CX
+	MOVUPS absMask32<>(SB), X7
+
+abs16:
+	CMPQ CX, $16
+	JLT  abs4
+	MOVUPS (SI), X0
+	MOVUPS 16(SI), X1
+	MOVUPS 32(SI), X2
+	MOVUPS 48(SI), X3
+	ANDPS  X7, X0
+	ANDPS  X7, X1
+	ANDPS  X7, X2
+	ANDPS  X7, X3
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	MOVUPS X2, 32(DI)
+	MOVUPS X3, 48(DI)
+	ADDQ   $64, DI
+	ADDQ   $64, SI
+	SUBQ   $16, CX
+	JMP    abs16
+
+abs4:
+	CMPQ CX, $4
+	JLT  abs1
+	MOVUPS (SI), X0
+	ANDPS  X7, X0
+	MOVUPS X0, (DI)
+	ADDQ   $16, DI
+	ADDQ   $16, SI
+	SUBQ   $4, CX
+	JMP    abs4
+
+abs1:
+	CMPQ CX, $0
+	JLE  absDone
+	MOVSS (SI), X0
+	ANDPS X7, X0
+	MOVSS X0, (DI)
+	ADDQ  $4, DI
+	ADDQ  $4, SI
+	DECQ  CX
+	JMP   abs1
+
+absDone:
+	RET
+
+// func gaussTailKernel(dst *int32, src *float32, n int, base int32, mu, tau float64) int64
+//
+// Two elements per iteration: d = |float64(x) - mu| (CVTPS2PD, SUBPD,
+// ANDPD), select when tau < d (CMPPD lt with tau as destination, so a NaN
+// distance never selects — the scalar predicate d > tau exactly). Selection
+// is expected sparse (~0.1%), so a MOVMSKPD fast-skip covers the common
+// all-reject pair and the stores stay scalar. n must be even.
+TEXT ·gaussTailKernel(SB), NOSPLIT, $0-56
+	MOVQ     dst+0(FP), DI
+	MOVQ     src+8(FP), SI
+	MOVQ     n+16(FP), CX
+	MOVL     base+24(FP), R8      // next flattened index
+	MOVSD    mu+32(FP), X8
+	UNPCKLPD X8, X8
+	MOVSD    tau+40(FP), X9
+	UNPCKLPD X9, X9
+	XORQ     R9, R9               // selected count
+
+gt2:
+	CMPQ CX, $2
+	JLT  gtDone
+	MOVSD    (SI), X0             // two float32 values in lanes 0,1
+	CVTPS2PD X0, X1               // [f64(x0), f64(x1)]
+	SUBPD    X8, X1               // x - mu
+	ANDPD    absMask64<>(SB), X1  // d = |x - mu|
+	MOVAPS   X9, X2
+	CMPPD    X1, X2, $1           // X2 = (tau < d) ? ~0 : 0, per qword lane
+	MOVMSKPD X2, AX
+	TESTQ    AX, AX
+	JZ       gtSkip
+	TESTQ    $1, AX
+	JZ       gtHigh
+	MOVL     R8, (DI)(R9*4)
+	INCQ     R9
+
+gtHigh:
+	TESTQ $2, AX
+	JZ    gtSkip
+	LEAL  1(R8), R10
+	MOVL  R10, (DI)(R9*4)
+	INCQ  R9
+
+gtSkip:
+	ADDL $2, R8
+	ADDQ $8, SI
+	SUBQ $2, CX
+	JMP  gt2
+
+gtDone:
+	MOVQ R9, ret+48(FP)
+	RET
+
+// func eliasPackKernel(words *uint32, fields *uint32, n int, bitPos uint64) uint64
+//
+// Batched Elias-gamma+sign writer (see tensor.EliasGammaSignPack for the
+// stream contract): per field, BSR finds the bit length of level+1, the
+// whole gamma(level+1)[+sign] code is assembled in a register and ORed into
+// the MSB-first word stream with one unconditional two-word store. Codes are
+// at most 30 bits (level+1 < 1<<15, the constructor guard), so the pair
+// store never reaches past one spare word.
+TEXT ·eliasPackKernel(SB), NOSPLIT, $0-40
+	MOVQ words+0(FP), DI
+	MOVQ fields+8(FP), SI
+	MOVQ n+16(FP), DX
+	MOVQ bitPos+24(FP), BX
+
+epLoop:
+	MOVL (SI), AX        // f = sign | level<<1
+	MOVL AX, R8
+	ANDL $1, R8          // sign
+	SHRL $1, AX          // level
+	LEAL 1(AX), R9       // v = level + 1
+	BSRL R9, R10         // n0 = bitlen(v) - 1
+	MOVL R10, R11
+	SHLL $1, R11
+	INCL R11             // width = 2*n0 + 1
+	MOVL R9, R12         // code = v
+	TESTL AX, AX
+	JZ   epNoSign
+	SHLQ $1, R12         // append sign bit when level > 0
+	ORQ  R8, R12
+	INCL R11
+
+epNoSign:
+	MOVQ BX, R13
+	SHRQ $5, R13         // w = bitPos / 32
+	MOVQ $64, CX
+	SUBQ R11, CX
+	MOVQ BX, R9
+	ANDQ $31, R9
+	SUBQ R9, CX          // shift = 64 - width - (bitPos % 32)
+	SHLQ CX, R12         // code aligned to the top of a 64-bit window
+	MOVQ R12, R9
+	SHRQ $32, R9
+	ORL  R9, (DI)(R13*4)  // high dword into words[w]
+	ORL  R12, 4(DI)(R13*4) // low dword into words[w+1]
+	ADDQ R11, BX         // bitPos += width
+	ADDQ $4, SI
+	DECQ DX
+	JNZ  epLoop
+
+	MOVQ BX, ret+32(FP)
+	RET
+
 // func signedMeansKernel(v *float32, n int) (sp, sn float64, nNeg int64)
 //
 // Two double-precision accumulator lanes per sum, split by element parity,

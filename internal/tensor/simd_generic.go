@@ -25,3 +25,15 @@ func quantFieldsArch(fields []uint32, g []float32, rnd []float64, norm float32, 
 func signedMeansArch(v []float32) (sp, sn float64, np, done int) {
 	return 0, 0, 0, 0
 }
+
+func vecAbsInto(dst, src Vec) { absIntoScalar(dst, src) }
+
+// gaussTailArch handles no elements on portable builds; the caller's scalar
+// predicate does all the work.
+func gaussTailArch(dst []int32, src []float32, base int32, mu, tau float64) (nsel, done int) {
+	return 0, 0
+}
+
+func eliasPackArch(words []uint32, fields []uint32, bitPos uint64) uint64 {
+	return eliasPackScalar(words, fields, bitPos)
+}
