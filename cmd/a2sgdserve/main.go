@@ -41,6 +41,7 @@ import (
 	"a2sgd/internal/compress"
 	_ "a2sgd/internal/core" // registers a2sgd and its ablation variants
 	"a2sgd/internal/elastic"
+	"a2sgd/internal/netsim"
 	"a2sgd/internal/plan"
 )
 
@@ -61,6 +62,12 @@ type jobSpec struct {
 	// Replan hands bucket boundaries and per-bucket specs to the cost-model
 	// planner, re-run at every membership epoch's world size.
 	Replan bool `json:"replan"`
+	// BackupWorkers is the spare-slot budget the escalation ladder can
+	// promote a warm clone from when a rank's links degrade.
+	BackupWorkers int `json:"backup_workers"`
+	// DriftReplan re-plans on the measured fabric when the health monitor's
+	// α–β estimates drift from the planning model. Requires Replan.
+	DriftReplan bool `json:"drift_replan"`
 }
 
 func (js *jobSpec) defaults(i int) {
@@ -137,6 +144,21 @@ func buildJob(js jobSpec, snapPath string, resume, tcp bool, pool *elastic.Pool,
 			}
 			return s, err
 		}
+		if js.DriftReplan {
+			// After a drift event the planner prices on the fabric the
+			// health monitor measured instead of the static model.
+			job.DriftReplan = true
+			job.DriftModel = a2sgd.IB100()
+			job.ReplanMeasured = func(world int, measured netsim.Fabric) (*plan.Schedule, error) {
+				s, err := a2sgd.BuildSchedule(js.Family, a2sgd.PlanOptions{Workers: world, Pricer: measured})
+				if err == nil {
+					mu.Lock()
+					cur = s
+					mu.Unlock()
+				}
+				return s, err
+			}
+		}
 		cc.NewBucketAlgorithm = func(rank int, info compress.BucketInfo) compress.Algorithm {
 			mu.Lock()
 			s := cur
@@ -163,6 +185,10 @@ func buildJob(js jobSpec, snapPath string, resume, tcp bool, pool *elastic.Pool,
 			return a
 		}
 	}
+	if js.DriftReplan && !js.Replan {
+		return nil, fmt.Errorf("job %s: drift_replan requires replan (the planner owns the schedule it re-prices)", js.Name)
+	}
+	job.BackupSlots = js.BackupWorkers
 	if js.Faults != "" {
 		sc, err := faultnet.Parse(js.Faults)
 		if err != nil {
@@ -198,6 +224,8 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 5, "single job: snapshot every k global steps")
 	faults := flag.String("faults", "", "single job: fault scenario, e.g. 'deadline(2s) preempt(rank=3, step=5)'")
 	replan := flag.Bool("replan", false, "single job: re-plan the schedule at every membership epoch's world size")
+	backupWorkers := flag.Int("backup-workers", 0, "single job: spare-slot budget for backup-worker promotion of degraded ranks")
+	driftReplan := flag.Bool("drift-replan", false, "single job: re-plan on the measured fabric when it drifts from the model (requires -replan)")
 	poolN := flag.Int("pool", 8, "shared worker-slot pool across all jobs")
 	dir := flag.String("dir", ".", "snapshot directory (-dir/<name>.snap per job)")
 	resume := flag.Bool("resume", false, "resume every job whose snapshot file exists")
@@ -225,6 +253,7 @@ func main() {
 			Epochs: *epochs, Steps: *steps, Batch: *batch,
 			Seed: *seed, Momentum: *momentum, BucketBytes: *bucketBytes,
 			CheckpointEvery: *checkpointEvery, Faults: *faults, Replan: *replan,
+			BackupWorkers: *backupWorkers, DriftReplan: *driftReplan,
 		}}
 	}
 	names := map[string]bool{}

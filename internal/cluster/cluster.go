@@ -5,11 +5,13 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"a2sgd/internal/comm"
 	"a2sgd/internal/compress"
 	"a2sgd/internal/data"
+	"a2sgd/internal/health"
 	"a2sgd/internal/models"
 	"a2sgd/internal/netsim"
 	"a2sgd/internal/nn"
@@ -211,6 +213,12 @@ type Config struct {
 	// drain decision is broadcast from rank 0, so all ranks agree without
 	// changing any training arithmetic.
 	Drain <-chan struct{}
+	// Health, when non-nil, receives per-rank timing beacons: per-step
+	// encode/sync/step wall times plus per-send and per-operation timings
+	// observed by the comm layer. The monitor's world must equal Workers.
+	// Recorders write into preallocated rings, so beacons keep the
+	// steady-state step allocation-free.
+	Health *health.Monitor
 }
 
 // EpochStats reports one epoch's training loss and held-out metric.
@@ -491,6 +499,9 @@ func Train(c Config) (*Result, error) {
 	if cfg.StopStep < 0 || (cfg.StopStep > 0 && cfg.StopStep >= totalSteps) {
 		return nil, fmt.Errorf("cluster: StopStep %d outside (0, %d)", cfg.StopStep, totalSteps)
 	}
+	if cfg.Health != nil && cfg.Health.World() != cfg.Workers {
+		return nil, fmt.Errorf("cluster: health monitor world %d != workers %d", cfg.Health.World(), cfg.Workers)
+	}
 
 	img, txt, err := data.ForFamily(cfg.Family, cfg.Seed)
 	if err != nil {
@@ -508,10 +519,13 @@ func Train(c Config) (*Result, error) {
 	// Per-rank snapshot slots: at a checkpoint boundary every rank deep-copies
 	// its state into its slot, the group barriers, and rank 0 assembles the
 	// RunState for the sink. Disjoint indices; the barrier orders the writes
-	// before rank 0's read. All supported group runners (in-process channels,
+	// before rank 0's read in real time, but over loopback TCP that ordering
+	// flows through the kernel, which the Go memory model does not recognize —
+	// the slots are atomic pointers so the intra-process handoff has an
+	// explicit edge. All supported group runners (in-process channels,
 	// loopback TCP, the fault mesh) run every rank in this process, so the
 	// shared slice is visible to all of them.
-	snapSlots := make([]*WorkerState, cfg.Workers)
+	snapSlots := make([]atomic.Pointer[WorkerState], cfg.Workers)
 
 	runGroup := cfg.GroupRunner
 	if runGroup == nil {
@@ -533,6 +547,15 @@ func Train(c Config) (*Result, error) {
 			if err := cm.SetConcurrency(cfg.Concurrency); err != nil {
 				return err
 			}
+		}
+		// Timing beacons: install after topology/concurrency so every derived
+		// communicator inherits the observers. Method values are built once
+		// here — the hot path calls them without allocating.
+		var rec *health.Recorder
+		if cfg.Health != nil {
+			rec = cfg.Health.Recorder(rank)
+			cm.SetSendObserver(rec.ObserveSend)
+			cm.SetOpObserver(rec.ObserveOp)
 		}
 		model, err := models.New(models.Config{Family: cfg.Family, Seed: cfg.Seed, Reduced: true})
 		if err != nil {
@@ -759,12 +782,16 @@ func Train(c Config) (*Result, error) {
 		// ordered before rank 0's read, and hands rank 0's assembled
 		// RunState to the sink.
 		deliverSnapshot := func(step int) error {
-			snapSlots[rank] = captureState()
+			snapSlots[rank].Store(captureState())
 			if err := cm.Barrier(); err != nil {
 				return fmt.Errorf("cluster: snapshot barrier at step %d: %w", step, err)
 			}
 			if rank != 0 {
 				return nil
+			}
+			ws := make([]*WorkerState, len(snapSlots))
+			for i := range snapSlots {
+				ws[i] = snapSlots[i].Load()
 			}
 			rs := &RunState{
 				Family: cfg.Family, Seed: cfg.Seed,
@@ -772,7 +799,7 @@ func Train(c Config) (*Result, error) {
 				Step: step, World: cfg.Workers, NumParams: n,
 				Bounds:  append([]int(nil), bounds...),
 				History: append([]EpochStats(nil), epochs...),
-				Workers: append([]*WorkerState(nil), snapSlots...),
+				Workers: ws,
 			}
 			if err := cfg.SnapshotSink(rs); err != nil {
 				return fmt.Errorf("cluster: snapshot sink at step %d: %w", step, err)
@@ -826,6 +853,7 @@ func Train(c Config) (*Result, error) {
 			}
 			globalStep = g
 			{
+				encMark, syncMark, stepMark := encodeSec, syncSec, stepSec
 				var batch models.Batch
 				if img != nil {
 					batch = img.Sample(sampleRNG, cfg.BatchPerWorker)
@@ -952,6 +980,9 @@ func Train(c Config) (*Result, error) {
 				// view — there is nothing to scatter back.
 				opt.Step(model.Params(), lr)
 				stepSec += time.Since(t0).Seconds()
+				if rec != nil {
+					rec.RecordStep(encodeSec-encMark, syncSec-syncMark, stepSec-stepMark)
+				}
 				steps++
 			}
 			if (g+1)%cfg.StepsPerEpoch == 0 && rank == 0 {

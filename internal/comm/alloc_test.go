@@ -3,6 +3,8 @@ package comm
 import (
 	"runtime/debug"
 	"testing"
+
+	"a2sgd/internal/health"
 )
 
 // allreduceAllocs measures rank 0's steady-state allocations per
@@ -60,7 +62,7 @@ func (o *stepOp) RunOp(cc *Communicator) error { return cc.AllreduceMean(o.v, Al
 // overlap step — post every bucket's typed exchange through the pooled
 // request queue, then WaitAll — on a warm two-rank fabric at the given
 // concurrency.
-func overlapStepAllocs(t *testing.T, concurrency, buckets, n int) float64 {
+func overlapStepAllocs(t *testing.T, concurrency, buckets, n int, setup func(c *Communicator, rank int)) float64 {
 	t.Helper()
 	f := NewInprocFabric(2)
 	defer f.Shutdown()
@@ -79,9 +81,12 @@ func overlapStepAllocs(t *testing.T, concurrency, buckets, n int) float64 {
 		}
 		return ops
 	}
-	for _, c := range cs {
+	for rank, c := range cs {
 		if err := c.SetConcurrency(concurrency); err != nil {
 			t.Fatal(err)
+		}
+		if setup != nil {
+			setup(c, rank)
 		}
 	}
 	peerDone := make(chan struct{})
@@ -135,8 +140,36 @@ func TestOverlapStepZeroAllocSteadyState(t *testing.T) {
 		{"deterministic", 1},
 		{"concurrent-4", 4},
 	} {
-		if a := overlapStepAllocs(t, tc.concurrency, 8, 1<<12); a != 0 {
+		if a := overlapStepAllocs(t, tc.concurrency, 8, 1<<12, nil); a != 0 {
 			t.Errorf("%s: %.2f allocs per steady-state overlap step, want 0", tc.name, a)
+		}
+	}
+}
+
+// TestOverlapStepZeroAllocWithObservers pins the health-beacon half of the
+// contract: installing send and op observers (real health.Recorder method
+// values, as cluster.Train does) must not add a single allocation to the
+// steady-state overlap step — the recorders write into preallocated rings
+// and the send path's time stamps live on the stack.
+func TestOverlapStepZeroAllocWithObservers(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; run without -race")
+	}
+	mon := health.NewMonitor(2, health.Options{})
+	setup := func(c *Communicator, rank int) {
+		rec := mon.Recorder(rank)
+		c.SetSendObserver(rec.ObserveSend)
+		c.SetOpObserver(rec.ObserveOp)
+	}
+	for _, tc := range []struct {
+		name        string
+		concurrency int
+	}{
+		{"deterministic", 1},
+		{"concurrent-4", 4},
+	} {
+		if a := overlapStepAllocs(t, tc.concurrency, 8, 1<<12, setup); a != 0 {
+			t.Errorf("%s: %.2f allocs per steady-state overlap step with observers, want 0", tc.name, a)
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package comm
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // Nonblocking collectives. Every Communicator owns a set of progress workers
 // (lazily started, one goroutine per tag-space context, mirroring MPI
@@ -201,8 +204,15 @@ func (c *Communicator) ctxLoop(k int) {
 		r := q.buf[q.head]
 		q.buf[q.head] = nil
 		q.head++
+		obs := c.opObs
 		c.asyncMu.Unlock()
-		r.err = r.run(cc)
+		if obs != nil {
+			t0 := time.Now()
+			r.err = r.run(cc)
+			obs(time.Since(t0).Seconds())
+		} else {
+			r.err = r.run(cc)
+		}
 		r.done <- struct{}{}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"a2sgd/internal/tensor"
 )
@@ -93,6 +94,14 @@ type Communicator struct {
 	// (failure.go); the zero value fails fast on the first error.
 	retry RetryPolicy
 
+	// sendObs, when non-nil, receives per-send timing beacons (observe.go);
+	// rankMap translates a derived communicator's local peer labels back to
+	// global ranks for those beacons. opObs times each posted nonblocking
+	// operation on the progress workers.
+	sendObs func(to, nBytes int, sec float64)
+	opObs   func(sec float64)
+	rankMap RankMapper
+
 	// children are the group communicators created by Split; their traffic
 	// is folded into this communicator's Traffic.
 	children []*Communicator
@@ -106,6 +115,9 @@ func NewCommunicator(t Transport) *Communicator {
 	c := &Communicator{t: t, sendErr: make(chan error, 1)}
 	if bt, ok := t.(BufferedTransport); ok {
 		c.buffered = bt.SendIsBuffered()
+	}
+	if rm, ok := t.(RankMapper); ok {
+		c.rankMap = rm
 	}
 	return c
 }
@@ -162,6 +174,11 @@ func (c *Communicator) ResetTraffic() {
 }
 
 func (c *Communicator) send(to, tag int, data []float32) error {
+	obs := c.sendObs
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+	}
 	err := c.t.Send(to, tag, data)
 	// Transient errors promise the operation had no stream effect, so a
 	// verbatim resend is safe; back off exponentially up to retry.Attempts.
@@ -171,6 +188,13 @@ func (c *Communicator) send(to, tag int, data []float32) error {
 	}
 	if err != nil {
 		return err
+	}
+	if obs != nil {
+		gto := to
+		if c.rankMap != nil {
+			gto = c.rankMap.GlobalRank(to)
+		}
+		obs(gto, 4*len(data), time.Since(t0).Seconds())
 	}
 	c.bytesSent.Add(int64(4 * len(data)))
 	c.msgsSent.Add(1)

@@ -54,6 +54,15 @@ func (x *ctxTransport) SendIsBuffered() bool {
 	return false
 }
 
+// GlobalRank forwards to the parent transport: a context relabels tags, not
+// ranks.
+func (x *ctxTransport) GlobalRank(local int) int {
+	if m, ok := x.t.(RankMapper); ok {
+		return m.GlobalRank(local)
+	}
+	return local
+}
+
 // SetConcurrency sets the number of tag-space contexts available to the
 // nonblocking operations: 1 (the default) is the Deterministic mode — a
 // single progress worker executing posted operations strictly in posting
@@ -86,6 +95,7 @@ func (c *Communicator) SetConcurrency(n int) error {
 	for k := 1; k < n; k++ {
 		sc := NewCommunicator(&ctxTransport{t: c.t, off: k * ctxTagShift})
 		sc.retry = c.retry
+		sc.sendObs = c.sendObs
 		if c.hier != nil {
 			if err := sc.SetTopology(c.hier.ranksPerNode); err != nil {
 				return fmt.Errorf("comm: context %d topology: %w", k, err)

@@ -10,9 +10,12 @@
 //
 //   - delay/bw/loss rules synchronously sleep the sender (α + β·bytes +
 //     jitter, bandwidth-cap β, loss-driven resend delay), multiplied for
-//     ranks under a straggler rule — modelling wire time as occupancy of the
-//     sending side, which is what makes the injected slowdown comparable to
-//     the netsim α–β price laws.
+//     ranks under a straggler rule (step function) or a degrade rule (linear
+//     ramp to the factor, driven by the rank's step counter) — modelling wire
+//     time as occupancy of the sending side, which is what makes the injected
+//     slowdown comparable to the netsim α–β price laws. Ranks listed in
+//     Scenario.Backup are exempt from both: a warm clone's clean stream wins
+//     the race, so the mesh models the winner.
 //   - dup rules legally duplicate a message: payloads gain a one-element
 //     meta header announcing the duplicate and the receiver swallows it, so
 //     collectives observe exactly-once delivery over an at-least-once link.
@@ -74,6 +77,9 @@ type Mesh struct {
 	steps   []atomic.Int64
 	crashed []atomic.Bool
 	stalled []atomic.Bool
+	// backup marks ranks whose straggler/degrade slowdowns are masked
+	// because a warm clone duplicates their shard (Scenario.Backup).
+	backup []bool
 
 	links []linkState // [src*size+dst]
 	pool  sync.Pool   // *[]float32 headered-payload staging buffers
@@ -103,7 +109,13 @@ func NewMesh(sc *Scenario, size int, kill func(rank int)) *Mesh {
 		steps:   make([]atomic.Int64, size),
 		crashed: make([]atomic.Bool, size),
 		stalled: make([]atomic.Bool, size),
+		backup:  make([]bool, size),
 		links:   make([]linkState, size*size),
+	}
+	for _, r := range sc.Backup {
+		if r >= 0 && r < size {
+			m.backup[r] = true
+		}
 	}
 	m.pool.New = func() any { return new([]float32) }
 	for i := range m.links {
@@ -214,12 +226,30 @@ func (m *Mesh) sendPlan(src, dst, nBytes int) (d time.Duration, dup, hold bool) 
 	}
 	for i := range m.sc.Rules {
 		r := &m.sc.Rules[i]
-		if r.Kind == RuleStraggler && (r.Rank == src || r.Rank == dst) {
-			if floor := stragglerFloor.Seconds(); sec < floor {
-				sec = floor
-			}
-			sec *= r.Factor
+		if r.Rank < 0 || (r.Rank != src && r.Rank != dst) {
+			continue
 		}
+		if m.backup[r.Rank] {
+			// A warm backup clone duplicates this rank's shard; the clean
+			// clone's stream wins the race, so the slowdown is masked.
+			continue
+		}
+		var f float64
+		switch r.Kind {
+		case RuleStraggler:
+			f = r.Factor
+		case RuleDegrade:
+			f = r.degradeFactor(int(m.steps[r.Rank].Load()) - 1)
+		default:
+			continue
+		}
+		if f <= 1 {
+			continue
+		}
+		if floor := stragglerFloor.Seconds(); sec < floor {
+			sec = floor
+		}
+		sec *= f
 	}
 	if hold {
 		// A held duplicate would entangle the release with the swallow
@@ -227,6 +257,24 @@ func (m *Mesh) sendPlan(src, dst, nBytes int) (d time.Duration, dup, hold bool) 
 		hold = !dup
 	}
 	return time.Duration(sec * float64(time.Second)), dup, hold
+}
+
+// degradeFactor is the rule's slowdown at a 0-based step: 1 before Step,
+// ramping linearly to Factor over Ramp steps, then holding. A negative Step
+// means the ramp began in an earlier elastic segment and may already be at
+// full factor.
+func (r *Rule) degradeFactor(step int) float64 {
+	if step < r.Step {
+		return 1
+	}
+	if r.Ramp <= 0 {
+		return r.Factor
+	}
+	frac := float64(step-r.Step+1) / float64(r.Ramp)
+	if frac > 1 {
+		frac = 1
+	}
+	return 1 + (r.Factor-1)*frac
 }
 
 // transport is one rank's fault-injecting view of the base transport.

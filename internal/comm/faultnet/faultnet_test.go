@@ -19,6 +19,8 @@ func TestParseRoundTrip(t *testing.T) {
 		"seed(42) bw(link=2-*, mbps=400)",
 		"loss(link=*, p=0.05, resend=2ms) dup(link=*, p=0.2)",
 		"reorder(link=0-1, p=0.3) straggler(rank=2, x=3)",
+		"degrade(rank=2, after=4, factor=3, ramp=4)",
+		"straggler(rank=1, x=2) degrade(rank=3, after=0, factor=8, ramp=0)",
 		"deadline(500ms) crash(rank=3, step=5)",
 		"deadline(400ms) stall(rank=1, step=2)",
 		"retry(attempts=6, backoff=2ms, max=20ms) flap(rank=1, period=40ms, duty=0.8)",
@@ -68,6 +70,10 @@ func TestParseErrors(t *testing.T) {
 		"dup(link=*, p=1.5)",                  // p out of range
 		"crash(rank=1)",                       // missing step
 		"straggler(rank=1)",                   // missing factor
+		"degrade(rank=1)",                     // missing factor
+		"degrade(rank=1, factor=1)",           // factor must exceed 1
+		"degrade(rank=1, factor=3, ramp=-2)",  // negative ramp
+		"degrade(factor=3)",                   // missing rank
 		"partition(groups=0-1)",               // one side
 		"flap(rank=0, duty=1.5)",              // duty out of range
 		"delay(link=*, alpha=1ms, alpha=2ms)", // duplicate key
@@ -166,6 +172,7 @@ func TestRecoverableFaultsPreserveCollectives(t *testing.T) {
 		"reorder(link=*, p=0.4)",
 		"dup(link=*, p=0.3) reorder(link=*, p=0.3) loss(link=*, p=0.1, resend=100µs)",
 		"straggler(rank=1, x2)",
+		"degrade(rank=1, after=2, factor=3, ramp=2)",
 		"flap(rank=1, period=20ms, duty=0.7)",
 		"partition(groups=0-1|2-3, after=5ms, dur=10ms)",
 	}
@@ -188,6 +195,69 @@ func TestRecoverableFaultsOverTCP(t *testing.T) {
 	sc := MustParse("dup(link=*, p=0.3) reorder(link=*, p=0.3) delay(link=*, alpha=10µs)")
 	if err := RunGroupTCP(sc, 3, ringBody(4, 256)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDegradeFactorRamp(t *testing.T) {
+	r := Rule{Kind: RuleDegrade, Rank: 1, Step: 4, Factor: 5, Ramp: 4}
+	for _, tc := range []struct {
+		step int
+		want float64
+	}{
+		{0, 1}, {3, 1}, // before the onset
+		{4, 2}, {5, 3}, {6, 4}, // linear ramp: 1 + 4*(k/4)
+		{7, 5}, {20, 5}, // held at full factor
+	} {
+		if got := r.degradeFactor(tc.step); got != tc.want {
+			t.Errorf("degradeFactor(step=%d) = %v, want %v", tc.step, got, tc.want)
+		}
+	}
+	// Zero ramp is a step function; a negative onset means the ramp began in
+	// an earlier elastic segment and may already be complete.
+	r2 := Rule{Kind: RuleDegrade, Rank: 1, Step: -10, Factor: 3, Ramp: 4}
+	if got := r2.degradeFactor(0); got != 3 {
+		t.Errorf("rebased degrade at step 0 = %v, want full factor 3", got)
+	}
+	r3 := Rule{Kind: RuleDegrade, Rank: 1, Step: 2, Factor: 3, Ramp: 0}
+	if got := r3.degradeFactor(2); got != 3 {
+		t.Errorf("step-function degrade = %v, want 3", got)
+	}
+}
+
+func TestDegradeSlowsSendsAfterOnset(t *testing.T) {
+	sc := MustParse("degrade(rank=1, after=2, factor=8, ramp=0)")
+	m := NewMesh(sc, 3, nil)
+	m.steps[1].Store(1) // current 0-based step 0
+	before, _, _ := m.sendPlan(0, 1, 1024)
+	m.steps[1].Store(3) // current step 2: the degrade fires
+	after, _, _ := m.sendPlan(0, 1, 1024)
+	if before != 0 {
+		t.Errorf("pre-onset delay %v, want none", before)
+	}
+	if after < 8*stragglerFloor {
+		t.Errorf("post-onset delay %v, want >= 8x the straggler floor", after)
+	}
+	if unrelated, _, _ := m.sendPlan(0, 2, 1024); unrelated != 0 {
+		t.Errorf("link not touching the degraded rank delayed by %v", unrelated)
+	}
+}
+
+func TestBackupMasksSlowdown(t *testing.T) {
+	sc := MustParse("straggler(rank=1, x4) degrade(rank=2, after=0, factor=4, ramp=0)")
+	sc.Backup = []int{1, 2}
+	m := NewMesh(sc, 3, nil)
+	m.steps[1].Store(1)
+	m.steps[2].Store(1)
+	for _, dst := range []int{1, 2} {
+		if d, _, _ := m.sendPlan(0, dst, 1024); d != 0 {
+			t.Errorf("backed-up rank %d still slowed by %v", dst, d)
+		}
+	}
+	// Without the backup the same link is slow.
+	sc2 := MustParse("straggler(rank=1, x4)")
+	m2 := NewMesh(sc2, 3, nil)
+	if d, _, _ := m2.sendPlan(0, 1, 1024); d < 4*stragglerFloor {
+		t.Errorf("un-backed straggler delay %v, want >= 4x floor", d)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 //	dup(link=*, p=0.2)                       // legal duplicate delivery
 //	reorder(link=*, p=0.3)                   // legal cross-tag reordering
 //	straggler(rank=2, x3)                    // multiply delays touching rank
+//	degrade(rank=2, after=4, factor=3, ramp=4) // gradual slowdown of rank's links
 //	crash(rank=3, step=5)                    // one-shot rank failure
 //	stall(rank=3, step=5)                    // rank goes dark, no error
 //	preempt(rank=3, step=5)                  // crash that may rejoin (elastic)
@@ -51,13 +52,19 @@ const (
 	// reads the kind as "this rank will come back" and re-admits it at the
 	// next checkpoint boundary instead of shrinking permanently.
 	RulePreempt
+	// RuleDegrade is the gradual sibling of RuleStraggler: from 0-based step
+	// After the slowdown of every link touching Rank ramps linearly from 1x
+	// to Factor over Ramp steps, then holds. Stragglers model a host that is
+	// simply slow; degrades model a fabric that is getting worse — the
+	// realistic stimulus for drift-triggered re-planning.
+	RuleDegrade
 )
 
 var ruleNames = map[RuleKind]string{
 	RuleDelay: "delay", RuleBandwidth: "bw", RuleLoss: "loss", RuleDup: "dup",
 	RuleReorder: "reorder", RuleStraggler: "straggler", RuleCrash: "crash",
 	RuleStall: "stall", RuleFlap: "flap", RulePartition: "partition",
-	RulePreempt: "preempt",
+	RulePreempt: "preempt", RuleDegrade: "degrade",
 }
 
 // Link selects the undirected rank pairs a rule applies to; -1 is the
@@ -103,7 +110,8 @@ type Rule struct {
 	P      float64       // loss/dup/reorder probability
 	Resend time.Duration // loss: delay modelling the retransmit
 
-	Factor float64 // straggler multiplier
+	Factor float64 // straggler/degrade multiplier
+	Ramp   int     // degrade: steps over which the factor ramps to full
 
 	Period time.Duration // flap cycle length
 	Duty   float64       // flap fraction of the period the link is UP
@@ -126,6 +134,13 @@ type Scenario struct {
 	// with flap/partition rules present defaults to comm.DefaultRetry().
 	Retry comm.RetryPolicy
 	Rules []Rule
+
+	// Backup lists ranks with a warm backup clone: the elastic supervisor
+	// sets it at runtime when a spare Pool slot duplicates a straggler's
+	// shard, and the mesh then exempts links touching those ranks from
+	// straggler/degrade slowdowns — the clean clone's stream wins the race.
+	// Runtime state, not part of the grammar; String does not render it.
+	Backup []int
 }
 
 // Recoverable reports whether every rule preserves completion: a scenario
@@ -436,6 +451,18 @@ func (s *Scenario) parseRule(name, args string) error {
 		if a.err == nil && r.Factor <= 1 {
 			a.err = fmt.Errorf("faultnet: straggler requires a factor > 1 (x3 or x=3)")
 		}
+	case "degrade":
+		r.Kind = RuleDegrade
+		needRank()
+		r.Step = a.int("after", 0)
+		r.Factor = a.float("factor", 0)
+		r.Ramp = a.int("ramp", 4)
+		if a.err == nil && r.Factor <= 1 {
+			a.err = fmt.Errorf("faultnet: degrade requires factor > 1")
+		}
+		if a.err == nil && (r.Step < 0 || r.Ramp < 0) {
+			a.err = fmt.Errorf("faultnet: degrade needs after >= 0 and ramp >= 0")
+		}
 	case "crash", "stall", "preempt":
 		r.Kind = RuleCrash
 		switch name {
@@ -467,7 +494,7 @@ func (s *Scenario) parseRule(name, args string) error {
 		r.After = a.dur("after", 0)
 		r.Dur = a.dur("dur", 20*time.Millisecond)
 	default:
-		return fmt.Errorf("faultnet: unknown rule %q (want delay/bw/loss/dup/reorder/straggler/crash/stall/preempt/flap/partition/seed/deadline/retry)", name)
+		return fmt.Errorf("faultnet: unknown rule %q (want delay/bw/loss/dup/reorder/straggler/degrade/crash/stall/preempt/flap/partition/seed/deadline/retry)", name)
 	}
 	if err := a.finish(name); err != nil {
 		return err
@@ -526,6 +553,11 @@ func (r Rule) String() string {
 	case RuleStraggler:
 		add("rank=%d", r.Rank)
 		add("x=%g", r.Factor)
+	case RuleDegrade:
+		add("rank=%d", r.Rank)
+		add("after=%d", r.Step)
+		add("factor=%g", r.Factor)
+		add("ramp=%d", r.Ramp)
 	case RuleCrash, RuleStall, RulePreempt:
 		add("rank=%d", r.Rank)
 		add("step=%d", r.Step)

@@ -59,6 +59,19 @@ func (t *groupTransport) SendIsBuffered() bool {
 	return false
 }
 
+// GlobalRank maps a group rank to the parent's label and keeps translating
+// up the chain, so a hierarchy tier's beacons name physical workers.
+func (t *groupTransport) GlobalRank(local int) int {
+	if local < 0 || local >= len(t.ranks) {
+		return local
+	}
+	r := t.ranks[local]
+	if m, ok := t.parent.(RankMapper); ok {
+		return m.GlobalRank(r)
+	}
+	return r
+}
+
 // ColorUndefined excludes the calling rank from every group, like
 // MPI_UNDEFINED: Split still participates in the collective exchange but
 // returns a nil communicator.
@@ -119,6 +132,7 @@ func (c *Communicator) Split(color, key int) (*Communicator, error) {
 		tagOff: (color + 1) * groupTagShift,
 	})
 	g.retry = c.retry
+	g.sendObs = c.sendObs
 	c.children = append(c.children, g)
 	return g, nil
 }

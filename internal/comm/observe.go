@@ -1,0 +1,45 @@
+package comm
+
+// RankMapper is the optional capability of transports whose rank labels are
+// local to a derived group (Split groups, tag-space contexts). GlobalRank
+// translates a local peer label back to the root communicator's rank so
+// timing beacons attribute traffic to the right physical worker. Transports
+// without the capability are assumed to use global ranks already.
+type RankMapper interface {
+	GlobalRank(local int) int
+}
+
+// SetSendObserver installs a per-send timing beacon: after every successful
+// point-to-point send, f receives the destination's global rank, the payload
+// size in bytes and the wall seconds the send took (including transient-error
+// retries). The observer is propagated to existing derived communicators
+// (Split groups, concurrency contexts) and inherited by ones created later,
+// mirroring SetRetry. Install it at setup time, before the communicator is
+// used; f must be safe for concurrent calls and should not block or allocate
+// — it runs on the hot send path.
+func (c *Communicator) SetSendObserver(f func(to, nBytes int, sec float64)) {
+	c.sendObs = f
+	c.asyncMu.Lock()
+	ctxs := append([]*Communicator(nil), c.ctxComms...)
+	c.asyncMu.Unlock()
+	for _, sc := range ctxs {
+		sc.sendObs = f
+	}
+	for _, ch := range c.children {
+		ch.SetSendObserver(f)
+	}
+}
+
+// SetOpObserver installs a per-operation timing beacon: f receives the wall
+// seconds each posted nonblocking operation (Post/IAllreduceMean/IAllgather)
+// spent executing on its progress worker. Same contract as SetSendObserver:
+// install at setup time; f must be concurrency-safe, non-blocking and
+// allocation-free.
+func (c *Communicator) SetOpObserver(f func(sec float64)) {
+	c.asyncMu.Lock()
+	c.opObs = f
+	c.asyncMu.Unlock()
+	for _, ch := range c.children {
+		ch.SetOpObserver(f)
+	}
+}

@@ -1,0 +1,281 @@
+package elastic
+
+import (
+	"bytes"
+	"testing"
+
+	"a2sgd/internal/cluster"
+	"a2sgd/internal/comm/faultnet"
+	"a2sgd/internal/health"
+	"a2sgd/internal/netsim"
+	"a2sgd/internal/plan"
+)
+
+// reasons extracts the event reason strings.
+func reasons(rr *RunResult) []string {
+	out := make([]string, len(rr.Events))
+	for i, e := range rr.Events {
+		out[i] = e.Reason
+	}
+	return out
+}
+
+func indexOf(xs []string, want string) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// runLadderBackup runs a 4-rank straggler job with one backup slot and
+// asserts the ladder engaged (degrade → backup, no evict) and the final
+// checkpoint is bitwise-identical to the fault-free reference.
+func runLadderBackup(t *testing.T, mutate func(*cluster.Config), tcp bool) {
+	t.Helper()
+	ref := testConfig("fnn3", "a2sgd", 4)
+	ref.CheckpointEvery = 2
+	if mutate != nil {
+		mutate(&ref)
+	}
+	var refCkpt bytes.Buffer
+	ref.Checkpoint = &refCkpt
+	if _, err := cluster.Train(ref); err != nil {
+		t.Fatalf("fault-free reference: %v", err)
+	}
+
+	cfg := testConfig("fnn3", "a2sgd", 4)
+	cfg.CheckpointEvery = 2
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	var ckpt bytes.Buffer
+	cfg.Checkpoint = &ckpt
+	job := &Job{
+		Config:      cfg,
+		Scenario:    faultnet.MustParse("straggler(rank=2, x8)"),
+		TCP:         tcp,
+		BackupSlots: 1,
+	}
+	rr, err := job.Run()
+	if err != nil {
+		t.Fatalf("straggler job: %v", err)
+	}
+	if rr.Result == nil || rr.Paused {
+		t.Fatal("straggler job did not complete")
+	}
+	rs := reasons(rr)
+	di, bi := indexOf(rs, "degrade(rank=2)"), indexOf(rs, "backup(rank=2)")
+	if di < 0 || bi < 0 || bi < di {
+		t.Fatalf("ladder did not climb degrade → backup: events %v", rs)
+	}
+	if indexOf(rs, "evict(rank=2)") >= 0 {
+		t.Fatalf("backed-up rank was evicted: events %v", rs)
+	}
+	if rr.Backups != 1 {
+		t.Fatalf("Backups = %d, want 1", rr.Backups)
+	}
+	if !bytes.Equal(ckpt.Bytes(), refCkpt.Bytes()) {
+		t.Fatal("backup-recovered run is not bitwise-identical to the fault-free reference")
+	}
+}
+
+func TestBackupRecoveryBitwiseInproc(t *testing.T) {
+	runLadderBackup(t, nil, false)
+}
+
+func TestBackupRecoveryBitwiseTCP(t *testing.T) {
+	runLadderBackup(t, nil, true)
+}
+
+func TestBackupRecoveryBitwiseHierarchical(t *testing.T) {
+	runLadderBackup(t, func(c *cluster.Config) { c.Topology = 2 }, false)
+}
+
+// TestDegradedRankSoftDegradesBeforeEviction: with no backup slots, a
+// degraded-but-alive rank must still pass through the soft-degrade stage —
+// the first boundary that classifies it degraded never evicts directly.
+func TestDegradedRankSoftDegradesBeforeEviction(t *testing.T) {
+	cfg := testConfig("fnn3", "a2sgd", 4)
+	cfg.CheckpointEvery = 2
+	job := &Job{
+		Config:   cfg,
+		Scenario: faultnet.MustParse("straggler(rank=2, x8)"),
+		Health:   true, // ladder on, zero backup slots
+	}
+	rr, err := job.Run()
+	if err != nil {
+		t.Fatalf("straggler job: %v", err)
+	}
+	if rr.Result == nil {
+		t.Fatal("job did not complete")
+	}
+	rs := reasons(rr)
+	di, ei := indexOf(rs, "degrade(rank=2)"), indexOf(rs, "evict(rank=2)")
+	if di < 0 {
+		t.Fatalf("straggler never soft-degraded: events %v", rs)
+	}
+	if ei >= 0 && ei < di {
+		t.Fatalf("rank evicted before soft-degrade: events %v", rs)
+	}
+	if ei >= 0 {
+		// The eviction shrinks the world and renumbers ranks; the run must
+		// still finish on the survivors.
+		if rr.Result.Workers != 3 {
+			t.Fatalf("post-eviction run finished at %d workers, want 3", rr.Result.Workers)
+		}
+	}
+}
+
+// TestDriftReplanNoOpWhenCalibrated: with the drift model set to the fabric
+// the monitor itself measures on a fault-free run, a second run must not
+// trigger a replan — same estimator, same machine, drift ≈ 1.
+func TestDriftReplanNoOpWhenCalibrated(t *testing.T) {
+	probeCfg := testConfig("fnn3", "a2sgd", 4)
+	probeCfg.CheckpointEvery = 2
+	probe := &Job{Config: probeCfg, Health: true}
+	prr, err := probe.Run()
+	if err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	if prr.Measured == nil {
+		t.Fatal("probe run produced no measured fabric")
+	}
+
+	cfg := testConfig("fnn3", "a2sgd", 4)
+	cfg.CheckpointEvery = 2
+	replans := 0
+	job := &Job{
+		Config:         cfg,
+		DriftReplan:    true,
+		DriftModel:     *prr.Measured,
+		DriftThreshold: 3,
+		ReplanMeasured: func(world int, measured netsim.Fabric) (*plan.Schedule, error) {
+			replans++
+			return nil, nil
+		},
+	}
+	rr, err := job.Run()
+	if err != nil {
+		t.Fatalf("calibrated run: %v", err)
+	}
+	if rr.Result == nil {
+		t.Fatal("calibrated run did not complete")
+	}
+	if replans != 0 {
+		t.Fatalf("ReplanMeasured called %d times on a calibrated fabric", replans)
+	}
+	for _, r := range reasons(rr) {
+		if len(r) >= 6 && r[:6] == "replan" {
+			t.Fatalf("drift replan fired without drift: events %v", reasons(rr))
+		}
+	}
+}
+
+// TestRestartBudgetResetsAfterCleanBoundaries: two well-separated crashes
+// exceed a budget of one unless ResetBudgetAfter refills it between them.
+func TestRestartBudgetResetsAfterCleanBoundaries(t *testing.T) {
+	scenario := "deadline(5s) crash(rank=3, step=3) crash(rank=2, step=7)"
+
+	strict := &Job{
+		Config:      testConfig("fnn3", "a2sgd", 4),
+		Scenario:    faultnet.MustParse(scenario),
+		MaxRestarts: 1,
+	}
+	strict.Config.CheckpointEvery = 2
+	if _, err := strict.Run(); err == nil {
+		t.Fatal("budget of 1 survived two crashes without ResetBudgetAfter")
+	}
+
+	lenient := &Job{
+		Config:           testConfig("fnn3", "a2sgd", 4),
+		Scenario:         faultnet.MustParse(scenario),
+		MaxRestarts:      1,
+		ResetBudgetAfter: 1,
+	}
+	lenient.Config.CheckpointEvery = 2
+	rr, err := lenient.Run()
+	if err != nil {
+		t.Fatalf("budget did not reset across clean boundaries: %v", err)
+	}
+	if rr.Result == nil {
+		t.Fatal("lenient run did not complete")
+	}
+	if rr.Restarts != 2 {
+		t.Fatalf("lifetime Restarts = %d, want 2 (reset must not hide history)", rr.Restarts)
+	}
+}
+
+// TestEvictTargetedReshard pins Evict's label shifting and state folding.
+func TestEvictTargetedReshard(t *testing.T) {
+	cfg := testConfig("fnn3", "dgc(density=0.05)", 4)
+	cfg.CheckpointEvery = 4
+	_, _, snaps := captureRun(t, cfg)
+	snap := snaps[4]
+	if snap == nil {
+		t.Fatal("missing step-4 snapshot")
+	}
+	out, err := Evict(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.World != 3 || len(out.Workers) != 3 {
+		t.Fatalf("evicted world %d/%d workers", out.World, len(out.Workers))
+	}
+	for r, ws := range out.Workers {
+		if ws.Rank != r {
+			t.Errorf("worker %d carries rank label %d", r, ws.Rank)
+		}
+	}
+	// Survivors keep their identity: old rank 0 stays, old ranks 2,3 shift.
+	if &out.Workers[0].Params[0] != &snap.Workers[0].Params[0] {
+		t.Error("unshifted survivor was deep-copied")
+	}
+	// Error-feedback mass is conserved: the evicted rank's vectors fold into
+	// survivor rank mod world, so the per-bucket elementwise sums across
+	// ranks are invariant.
+	for b := range snap.Workers[0].Buckets {
+		for key := range snap.Workers[0].Buckets[b].Vecs {
+			want := vecMass(snap.Workers, b, key)
+			got := vecMass(out.Workers, b, key)
+			if diff := want - got; diff > 1e-3 || diff < -1e-3 {
+				t.Errorf("bucket %d %q mass not preserved: %g -> %g", b, key, want, got)
+			}
+		}
+	}
+	// Determinism: a second eviction is identical.
+	out2, err := Evict(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustSnapshotBytes(t, out), mustSnapshotBytes(t, out2)) {
+		t.Error("two evictions of the same snapshot diverge")
+	}
+	// Guard rails.
+	if _, err := Evict(snap, 7); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := Evict(nil, 0); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+func mustSnapshotBytes(t *testing.T, rs *cluster.RunState) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestHealthMonitorWorldValidation: cluster.Train rejects a monitor sized to
+// a different world.
+func TestHealthMonitorWorldValidation(t *testing.T) {
+	cfg := testConfig("fnn3", "a2sgd", 2)
+	cfg.Health = health.NewMonitor(3, health.Options{})
+	if _, err := cluster.Train(cfg); err == nil {
+		t.Fatal("mismatched health monitor world accepted")
+	}
+}

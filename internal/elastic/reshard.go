@@ -78,6 +78,53 @@ func Reshard(rs *cluster.RunState, world int) (*cluster.RunState, error) {
 	return &out, nil
 }
 
+// Evict removes one specific rank from a snapshot, unlike Reshard's
+// shrink, which always drops the highest ranks. Survivors above the evicted
+// rank shift down by one label (a shallow copy with an updated Rank — their
+// state is shared with the input); the evicted rank's per-bucket algorithm
+// state folds into survivor `rank mod (world-1)`, mirroring Reshard's policy,
+// so no accumulated error-feedback mass is lost. Pure and deterministic: two
+// evictions of the same rank from the same snapshot are identical.
+func Evict(rs *cluster.RunState, rank int) (*cluster.RunState, error) {
+	if rs == nil {
+		return nil, fmt.Errorf("elastic: evict from a nil snapshot")
+	}
+	if len(rs.Workers) != rs.World {
+		return nil, fmt.Errorf("elastic: snapshot world %d != %d worker entries", rs.World, len(rs.Workers))
+	}
+	if rank < 0 || rank >= rs.World {
+		return nil, fmt.Errorf("elastic: evict rank %d outside world %d", rank, rs.World)
+	}
+	if rs.World < 2 {
+		return nil, fmt.Errorf("elastic: cannot evict the last rank")
+	}
+	world := rs.World - 1
+	out := *rs
+	out.World = world
+	out.Workers = make([]*cluster.WorkerState, world)
+	for r := 0; r < world; r++ {
+		src := r
+		if r >= rank {
+			src = r + 1
+		}
+		ws := rs.Workers[src]
+		if src != r && ws != nil {
+			cp := *ws
+			cp.Rank = r
+			ws = &cp
+		}
+		out.Workers[r] = ws
+	}
+	evicted := rs.Workers[rank]
+	if evicted != nil && len(evicted.Buckets) > 0 {
+		dst := rank % world
+		out.Workers[dst] = cloneWorker(out.Workers[dst])
+		out.Workers[dst].Rank = dst
+		foldStates(out.Workers[dst].Buckets, evicted.Buckets)
+	}
+	return &out, nil
+}
+
 // foldStates adds src's element-aligned state vectors into dst bucket by
 // bucket. Buckets whose algorithm differs (or vectors whose lengths mismatch)
 // are skipped — there is no meaningful fold across algorithms.

@@ -24,6 +24,23 @@ func TCP10G() Fabric {
 	return Fabric{Name: "tcp10g", Alpha: 2.0e-5, Beta: 8.0e-10} // 1.25 GB/s
 }
 
+// Measured builds a fabric from runtime α–β estimates (e.g. a
+// health.Monitor's link fits) so the planner can price schedules on the
+// network as observed rather than as modelled. Negative inputs are clamped
+// to zero; an empty name defaults to "measured".
+func Measured(name string, alpha, beta float64) Fabric {
+	if name == "" {
+		name = "measured"
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	if beta < 0 {
+		beta = 0
+	}
+	return Fabric{Name: name, Alpha: alpha, Beta: beta}
+}
+
 // PointToPoint returns the cost of one m-byte message.
 func (f Fabric) PointToPoint(mBytes int64) float64 {
 	return f.Alpha + float64(mBytes)*f.Beta

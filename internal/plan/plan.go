@@ -505,3 +505,36 @@ func PriceUniform(segs []nn.Segment, spec string, bucketBytes int, o Options) (n
 	a := newAssignment(make([]int, len(p.Buckets)), table)
 	return netsim.PriceSchedule(o.Pricer, a.kinds, a.encSec, a.bytes, o.Workers), nil
 }
+
+// Reprice prices an existing schedule on a (possibly different) pricer
+// without re-planning, so a stale schedule can be compared against what
+// Build would choose on a measured fabric: Build minimizes over its search
+// space, so on the same pricer a fresh schedule never prices worse than a
+// stale one — Reprice quantifies by how much.
+func Reprice(s *Schedule, segs []nn.Segment, pr netsim.Pricer) (netsim.SchedulePrice, error) {
+	if pr == nil {
+		return netsim.SchedulePrice{}, fmt.Errorf("plan: Reprice needs a pricer")
+	}
+	if err := s.Validate(); err != nil {
+		return netsim.SchedulePrice{}, err
+	}
+	if s.Workers < 1 {
+		return netsim.SchedulePrice{}, fmt.Errorf("plan: schedule has no worker count to price at")
+	}
+	p, err := nn.PlanFromBounds(segs, s.Bounds)
+	if err != nil {
+		return netsim.SchedulePrice{}, err
+	}
+	nb := s.NumBuckets()
+	kinds := make([]netsim.ExchangeKind, nb)
+	encSec := make([]float64, nb)
+	bytes := make([]int64, nb)
+	for b, bk := range p.Buckets {
+		cm, err := compress.SpecCost(s.Specs[b], compress.DefaultOptions(bk.Len))
+		if err != nil {
+			return netsim.SchedulePrice{}, err
+		}
+		kinds[b], encSec[b], bytes[b] = cm.Kind, cm.EncSec(bk.Len), cm.PayloadBytes(bk.Len)
+	}
+	return netsim.PriceSchedule(pr, kinds, encSec, bytes, s.Workers), nil
+}
